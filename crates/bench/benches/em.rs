@@ -1,0 +1,36 @@
+//! EM medication-model fitting throughput: the per-month cost of the
+//! paper's stage-1 link prediction.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use mic_claims::{Simulator, WorldSpec};
+use mic_linkmodel::{EmOptions, MedicationModel};
+use std::hint::black_box;
+
+fn bench_em(c: &mut Criterion) {
+    let mut group = c.benchmark_group("em_fit_month");
+    group.sample_size(10);
+    for &patients in &[200usize, 600] {
+        let spec = WorldSpec {
+            n_patients: patients,
+            n_diseases: 40,
+            n_medicines: 60,
+            months: 13,
+            ..WorldSpec::default()
+        };
+        let world = spec.generate();
+        let ds = Simulator::new(&world, 9).run();
+        let month = &ds.months[6];
+        group.bench_with_input(BenchmarkId::new("patients", patients), &patients, |b, _| {
+            b.iter(|| {
+                black_box(
+                    MedicationModel::fit(month, ds.n_diseases, ds.n_medicines, &EmOptions::default())
+                        .log_likelihood,
+                )
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_em);
+criterion_main!(benches);

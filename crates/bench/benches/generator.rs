@@ -1,0 +1,23 @@
+//! Claims-simulator throughput: records generated per second as the
+//! patient panel grows.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use mic_claims::{Month, Simulator, WorldSpec};
+use std::hint::black_box;
+
+fn bench_simulation(c: &mut Criterion) {
+    let mut group = c.benchmark_group("simulate_month");
+    group.sample_size(10);
+    for &patients in &[500usize, 2000] {
+        let spec = WorldSpec { n_patients: patients, months: 13, ..WorldSpec::default() };
+        let world = spec.generate();
+        let sim = Simulator::new(&world, 3);
+        group.bench_with_input(BenchmarkId::new("patients", patients), &patients, |b, _| {
+            b.iter(|| black_box(sim.run_month(Month(5)).records.len()));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_simulation);
+criterion_main!(benches);

@@ -1,0 +1,171 @@
+//! Strongly-typed identifiers and calendar months.
+//!
+//! Every entity in the claims model gets a newtype id so that a disease index
+//! can never be confused with a medicine index — the link-prediction code
+//! juggles both constantly, and the type system is the cheapest audit.
+
+use std::fmt;
+
+macro_rules! id_newtype {
+    ($(#[$doc:meta])* $name:ident, $prefix:literal) => {
+        $(#[$doc])*
+        #[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+        pub struct $name(pub u32);
+
+        impl $name {
+            /// Underlying index, for dense-array addressing.
+            #[inline]
+            pub fn index(self) -> usize {
+                self.0 as usize
+            }
+        }
+
+        impl fmt::Display for $name {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                write!(f, concat!($prefix, "{}"), self.0)
+            }
+        }
+
+        impl From<usize> for $name {
+            fn from(i: usize) -> Self {
+                $name(u32::try_from(i).expect("id overflow"))
+            }
+        }
+    };
+}
+
+id_newtype!(
+    /// Identifier of a disease in the world's disease catalogue.
+    DiseaseId,
+    "D"
+);
+id_newtype!(
+    /// Identifier of a medicine in the world's medicine catalogue.
+    MedicineId,
+    "M"
+);
+id_newtype!(
+    /// Identifier of a patient in the insured population.
+    PatientId,
+    "P"
+);
+id_newtype!(
+    /// Identifier of a medical institution.
+    HospitalId,
+    "H"
+);
+id_newtype!(
+    /// Identifier of a city (geographic unit for Fig. 8 analyses).
+    CityId,
+    "C"
+);
+
+/// Zero-based month index within a dataset's observation window.
+///
+/// The paper's window is March 2013 – September 2016 (43 months); `Month(0)`
+/// is the first observed month. Use [`YearMonth`] for calendar display.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Month(pub u32);
+
+impl Month {
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+
+    /// Month that is `k` months later.
+    pub fn plus(self, k: u32) -> Month {
+        Month(self.0 + k)
+    }
+
+    /// Signed distance `self - other` in months.
+    pub fn distance(self, other: Month) -> i64 {
+        self.0 as i64 - other.0 as i64
+    }
+}
+
+impl fmt::Display for Month {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "t{}", self.0)
+    }
+}
+
+/// A calendar year–month pair, used to anchor a dataset's `Month(0)` and to
+/// derive month-of-year for seasonality.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct YearMonth {
+    pub year: i32,
+    /// 1-based calendar month (1 = January).
+    pub month: u8,
+}
+
+impl YearMonth {
+    /// Construct, validating `month ∈ 1..=12`.
+    pub fn new(year: i32, month: u8) -> YearMonth {
+        assert!((1..=12).contains(&month), "calendar month must be 1..=12, got {month}");
+        YearMonth { year, month }
+    }
+
+    /// The paper's dataset start: March 2013.
+    pub fn paper_start() -> YearMonth {
+        YearMonth::new(2013, 3)
+    }
+
+    /// Calendar month `k` months after `self`.
+    pub fn plus(self, k: u32) -> YearMonth {
+        let total = (self.year as i64) * 12 + (self.month as i64 - 1) + k as i64;
+        YearMonth { year: (total.div_euclid(12)) as i32, month: (total.rem_euclid(12) + 1) as u8 }
+    }
+
+    /// Zero-based month-of-year (0 = January), for seasonal profiles.
+    pub fn month_of_year0(self) -> u32 {
+        (self.month - 1) as u32
+    }
+}
+
+impl fmt::Display for YearMonth {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:04}-{:02}", self.year, self.month)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn id_display_and_index() {
+        assert_eq!(DiseaseId(7).to_string(), "D7");
+        assert_eq!(MedicineId(3).index(), 3);
+        assert_eq!(DiseaseId::from(5usize), DiseaseId(5));
+    }
+
+    #[test]
+    fn month_arithmetic() {
+        assert_eq!(Month(5).plus(3), Month(8));
+        assert_eq!(Month(5).distance(Month(8)), -3);
+    }
+
+    #[test]
+    fn yearmonth_rollover() {
+        let start = YearMonth::paper_start();
+        assert_eq!(start.to_string(), "2013-03");
+        assert_eq!(start.plus(0), start);
+        assert_eq!(start.plus(10).to_string(), "2014-01");
+        // 43 months: March 2013 .. September 2016 inclusive → last index 42.
+        assert_eq!(start.plus(42).to_string(), "2016-09");
+    }
+
+    #[test]
+    fn yearmonth_month_of_year() {
+        assert_eq!(YearMonth::new(2013, 1).month_of_year0(), 0);
+        assert_eq!(YearMonth::new(2013, 12).month_of_year0(), 11);
+        assert_eq!(YearMonth::paper_start().plus(12).month_of_year0(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "calendar month")]
+    fn invalid_calendar_month_panics() {
+        YearMonth::new(2013, 13);
+    }
+}

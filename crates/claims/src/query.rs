@@ -1,0 +1,317 @@
+//! Cohort and epidemiology queries over a claims dataset.
+//!
+//! Beyond the paper's pipeline, a claims library gets used for cohort
+//! selection and descriptive epidemiology: who has disease X, how many new
+//! cases appeared this month, which conditions co-occur. This module builds
+//! an index over a [`ClaimsDataset`] and answers those questions, plus
+//! extracts per-cohort sub-datasets that feed back into the trend pipeline
+//! (e.g. "run change detection only on diabetics").
+
+use crate::ids::{DiseaseId, MedicineId, Month, PatientId};
+use crate::record::{ClaimsDataset, MonthlyDataset};
+use std::collections::{HashMap, HashSet};
+
+/// Precomputed lookup structures over one dataset.
+pub struct DatasetIndex<'a> {
+    dataset: &'a ClaimsDataset,
+    /// Patients ever diagnosed with each disease.
+    patients_by_disease: HashMap<u32, HashSet<PatientId>>,
+    /// Patients ever prescribed each medicine.
+    patients_by_medicine: HashMap<u32, HashSet<PatientId>>,
+    /// Per month: patients with a record.
+    patients_by_month: Vec<HashSet<PatientId>>,
+    /// Per month per disease: patients diagnosed that month.
+    monthly_disease_patients: Vec<HashMap<u32, HashSet<PatientId>>>,
+}
+
+impl<'a> DatasetIndex<'a> {
+    /// Build the index (one pass over the records).
+    pub fn build(dataset: &'a ClaimsDataset) -> DatasetIndex<'a> {
+        let mut patients_by_disease: HashMap<u32, HashSet<PatientId>> = HashMap::new();
+        let mut patients_by_medicine: HashMap<u32, HashSet<PatientId>> = HashMap::new();
+        let mut patients_by_month = Vec::with_capacity(dataset.horizon());
+        let mut monthly_disease_patients = Vec::with_capacity(dataset.horizon());
+        for month in &dataset.months {
+            let mut seen: HashSet<PatientId> = HashSet::new();
+            let mut by_disease: HashMap<u32, HashSet<PatientId>> = HashMap::new();
+            for r in &month.records {
+                seen.insert(r.patient);
+                for &(d, _) in &r.diseases {
+                    patients_by_disease.entry(d.0).or_default().insert(r.patient);
+                    by_disease.entry(d.0).or_default().insert(r.patient);
+                }
+                for &m in &r.medicines {
+                    patients_by_medicine.entry(m.0).or_default().insert(r.patient);
+                }
+            }
+            patients_by_month.push(seen);
+            monthly_disease_patients.push(by_disease);
+        }
+        DatasetIndex {
+            dataset,
+            patients_by_disease,
+            patients_by_medicine,
+            patients_by_month,
+            monthly_disease_patients,
+        }
+    }
+
+    /// Patients ever diagnosed with `d`.
+    pub fn patients_with_disease(&self, d: DiseaseId) -> Vec<PatientId> {
+        let mut v: Vec<PatientId> = self
+            .patients_by_disease
+            .get(&d.0)
+            .map(|s| s.iter().copied().collect())
+            .unwrap_or_default();
+        v.sort();
+        v
+    }
+
+    /// Patients ever prescribed `m`.
+    pub fn patients_with_medicine(&self, m: MedicineId) -> Vec<PatientId> {
+        let mut v: Vec<PatientId> = self
+            .patients_by_medicine
+            .get(&m.0)
+            .map(|s| s.iter().copied().collect())
+            .unwrap_or_default();
+        v.sort();
+        v
+    }
+
+    /// Patients with a claim in month `t`.
+    pub fn active_patients(&self, t: Month) -> usize {
+        self.patients_by_month[t.index()].len()
+    }
+
+    /// Period prevalence of `d` at month `t`: fraction of that month's
+    /// active patients diagnosed with `d`. Returns 0 for an empty month.
+    pub fn prevalence(&self, d: DiseaseId, t: Month) -> f64 {
+        let active = self.patients_by_month[t.index()].len();
+        if active == 0 {
+            return 0.0;
+        }
+        let with = self.monthly_disease_patients[t.index()]
+            .get(&d.0)
+            .map_or(0, |s| s.len());
+        with as f64 / active as f64
+    }
+
+    /// Incidence of `d` at month `t`: patients diagnosed at `t` with no
+    /// diagnosis of `d` in the preceding `lookback` months.
+    pub fn incidence(&self, d: DiseaseId, t: Month, lookback: usize) -> usize {
+        let Some(current) = self.monthly_disease_patients[t.index()].get(&d.0) else {
+            return 0;
+        };
+        let start = t.index().saturating_sub(lookback);
+        current
+            .iter()
+            .filter(|p| {
+                !(start..t.index()).any(|u| {
+                    self.monthly_disease_patients[u]
+                        .get(&d.0)
+                        .is_some_and(|s| s.contains(p))
+                })
+            })
+            .count()
+    }
+
+    /// Comorbidity between two diseases as the Jaccard index of their
+    /// patient sets (0 = disjoint, 1 = identical).
+    pub fn comorbidity_jaccard(&self, a: DiseaseId, b: DiseaseId) -> f64 {
+        let empty = HashSet::new();
+        let sa = self.patients_by_disease.get(&a.0).unwrap_or(&empty);
+        let sb = self.patients_by_disease.get(&b.0).unwrap_or(&empty);
+        let inter = sa.intersection(sb).count();
+        let union = sa.len() + sb.len() - inter;
+        if union == 0 {
+            0.0
+        } else {
+            inter as f64 / union as f64
+        }
+    }
+
+    /// Comorbidity lift: `P(a ∧ b) / (P(a)·P(b))` over the ever-diagnosed
+    /// patient universe. 1 = independent, > 1 = co-occurring more than
+    /// chance. Unlike Jaccard, lift is not inflated by a ubiquitous disease.
+    pub fn comorbidity_lift(&self, a: DiseaseId, b: DiseaseId) -> f64 {
+        let n: usize = {
+            let mut all: HashSet<PatientId> = HashSet::new();
+            for s in self.patients_by_month.iter() {
+                all.extend(s.iter().copied());
+            }
+            all.len()
+        };
+        if n == 0 {
+            return 0.0;
+        }
+        let empty = HashSet::new();
+        let sa = self.patients_by_disease.get(&a.0).unwrap_or(&empty);
+        let sb = self.patients_by_disease.get(&b.0).unwrap_or(&empty);
+        if sa.is_empty() || sb.is_empty() {
+            return 0.0;
+        }
+        let inter = sa.intersection(sb).count() as f64;
+        let nf = n as f64;
+        (inter / nf) / ((sa.len() as f64 / nf) * (sb.len() as f64 / nf))
+    }
+
+    /// Mean number of *distinct* medicines per patient in month `t`
+    /// (polypharmacy indicator).
+    pub fn polypharmacy(&self, t: Month) -> f64 {
+        let month = &self.dataset.months[t.index()];
+        let mut per_patient: HashMap<PatientId, HashSet<u32>> = HashMap::new();
+        for r in &month.records {
+            let set = per_patient.entry(r.patient).or_default();
+            for &m in &r.medicines {
+                set.insert(m.0);
+            }
+        }
+        if per_patient.is_empty() {
+            return 0.0;
+        }
+        per_patient.values().map(|s| s.len() as f64).sum::<f64>() / per_patient.len() as f64
+    }
+
+    /// Extract the sub-dataset containing only the given patients' records
+    /// (cohort extraction; feed the result back into the trend pipeline).
+    pub fn cohort(&self, patients: &[PatientId]) -> ClaimsDataset {
+        let wanted: HashSet<PatientId> = patients.iter().copied().collect();
+        ClaimsDataset {
+            start: self.dataset.start,
+            months: self
+                .dataset
+                .months
+                .iter()
+                .map(|m| MonthlyDataset {
+                    month: m.month,
+                    records: m
+                        .records
+                        .iter()
+                        .filter(|r| wanted.contains(&r.patient))
+                        .cloned()
+                        .collect(),
+                })
+                .collect(),
+            n_diseases: self.dataset.n_diseases,
+            n_medicines: self.dataset.n_medicines,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::catalog::{DiseaseKind, MedicineClass};
+    use crate::seasonality::SeasonalProfile;
+    use crate::simulate::Simulator;
+    use crate::world::WorldBuilder;
+    use crate::ids::YearMonth;
+
+    fn cohort_world() -> (crate::world::World, ClaimsDataset) {
+        let mut b = WorldBuilder::new(YearMonth::paper_start(), 15);
+        let diabetes = b.disease("diabetes", DiseaseKind::Chronic, 1.0, SeasonalProfile::Flat);
+        let neuropathy = b.disease("neuropathy", DiseaseKind::Chronic, 1.0, SeasonalProfile::Flat);
+        let cold = b.disease("cold", DiseaseKind::Viral, 2.0, SeasonalProfile::Flat);
+        let insulin = b.medicine("insulin", MedicineClass::Other);
+        let gabapentin = b.medicine("gabapentin", MedicineClass::Other);
+        let antiviral = b.medicine("antiviral", MedicineClass::Antiviral);
+        b.indication(diabetes, insulin, 2.0);
+        b.indication(neuropathy, gabapentin, 2.0);
+        b.indication(cold, antiviral, 1.0);
+        let city = b.city("c", 0, 0.5);
+        let h = b.hospital("h", city, 100);
+        for i in 0..300 {
+            // Patients 0..99: diabetes + neuropathy (comorbid); 100..199:
+            // diabetes only; 200..299: neither.
+            let chronic = match i / 100 {
+                0 => vec![diabetes, neuropathy],
+                1 => vec![diabetes],
+                _ => vec![],
+            };
+            b.patient(city, vec![(h, 1.0)], chronic, 0.9);
+        }
+        let world = b.build();
+        let ds = Simulator::new(&world, 33).run();
+        (world, ds)
+    }
+
+    #[test]
+    fn patient_sets_reflect_chronic_assignment() {
+        let (_w, ds) = cohort_world();
+        let idx = DatasetIndex::build(&ds);
+        let diabetics = idx.patients_with_disease(DiseaseId(0));
+        // Patients 0..199 carry diabetes; with visit prob 0.9 over 15
+        // months, essentially all should appear.
+        assert!(diabetics.len() >= 195 && diabetics.len() <= 200, "{}", diabetics.len());
+        assert!(diabetics.iter().all(|p| p.0 < 200));
+        let insulin_users = idx.patients_with_medicine(MedicineId(0));
+        assert!(insulin_users.iter().all(|p| p.0 < 200));
+        assert!(insulin_users.len() >= 190);
+    }
+
+    #[test]
+    fn comorbidity_structure_recovered() {
+        let (_w, ds) = cohort_world();
+        let idx = DatasetIndex::build(&ds);
+        let j_dn = idx.comorbidity_jaccard(DiseaseId(0), DiseaseId(1));
+        // Neuropathy patients ⊂ diabetes patients: Jaccard ≈ 100/200 = 0.5.
+        assert!((j_dn - 0.5).abs() < 0.05, "Jaccard = {j_dn}");
+        // Lift separates a genuine comorbidity (neuropathy ⇒ diabetes,
+        // lift = 1/P(diabetes) = 1.5) from a ubiquitous disease (cold hits
+        // everyone, lift ≈ 1).
+        let lift_dn = idx.comorbidity_lift(DiseaseId(0), DiseaseId(1));
+        let lift_dc = idx.comorbidity_lift(DiseaseId(0), DiseaseId(2));
+        assert!((lift_dn - 1.5).abs() < 0.1, "diabetes-neuropathy lift = {lift_dn}");
+        assert!((lift_dc - 1.0).abs() < 0.1, "diabetes-cold lift = {lift_dc}");
+        assert!(lift_dn > lift_dc);
+    }
+
+    #[test]
+    fn prevalence_matches_cohort_fractions() {
+        let (_w, ds) = cohort_world();
+        let idx = DatasetIndex::build(&ds);
+        let p = idx.prevalence(DiseaseId(0), Month(5));
+        // 200 of 300 patients are diabetic; chronic conditions appear in ~90%
+        // of their records → prevalence ≈ 0.6 ± noise.
+        assert!((0.4..0.8).contains(&p), "prevalence = {p}");
+        assert!(idx.active_patients(Month(5)) > 200);
+    }
+
+    #[test]
+    fn incidence_drops_after_first_month_for_chronic() {
+        let (_w, ds) = cohort_world();
+        let idx = DatasetIndex::build(&ds);
+        // Chronic diabetes: almost everyone "incident" in month 0, few new
+        // cases later (only patients whose early visits were missed).
+        let first = idx.incidence(DiseaseId(0), Month(0), 12);
+        let later = idx.incidence(DiseaseId(0), Month(10), 10);
+        assert!(first > 150, "first-month incidence {first}");
+        assert!(later < first / 10, "late incidence {later} vs {first}");
+    }
+
+    #[test]
+    fn cohort_extraction_filters_records() {
+        let (_w, ds) = cohort_world();
+        let idx = DatasetIndex::build(&ds);
+        let neuropathic = idx.patients_with_disease(DiseaseId(1));
+        let sub = idx.cohort(&neuropathic);
+        assert_eq!(sub.horizon(), ds.horizon());
+        let wanted: std::collections::HashSet<_> = neuropathic.iter().copied().collect();
+        for month in &sub.months {
+            for r in &month.records {
+                assert!(wanted.contains(&r.patient));
+            }
+        }
+        assert!(sub.total_records() > 0);
+        assert!(sub.total_records() < ds.total_records());
+        assert!(sub.validate().is_ok());
+    }
+
+    #[test]
+    fn polypharmacy_positive_for_treated_cohort() {
+        let (_w, ds) = cohort_world();
+        let idx = DatasetIndex::build(&ds);
+        let p = idx.polypharmacy(Month(3));
+        assert!(p > 0.3 && p < 5.0, "polypharmacy = {p}");
+    }
+}

@@ -1,0 +1,152 @@
+//! Seasonal prevalence profiles and outbreak events.
+//!
+//! Section III-B of the paper identifies seasonality as a disease-specific
+//! factor (hay fever peaks in spring, heatstroke in summer, influenza in
+//! winter; diarrhea shows more than one peak per year) and extreme outbreak
+//! spikes (influenza winter 2014/15) as outliers the model must absorb.
+
+use crate::ids::{DiseaseId, Month};
+
+/// Multiplicative seasonal profile over the 12 calendar months.
+#[derive(Clone, Debug, PartialEq)]
+pub enum SeasonalProfile {
+    /// No seasonal variation (chronic conditions such as hypertension).
+    Flat,
+    /// A single annual peak: a raised-cosine bump centred on `peak_month0`
+    /// (0 = January) whose width is controlled by `sharpness` (higher =
+    /// narrower) and height by `amplitude` (multiplier at the peak is
+    /// `1 + amplitude`).
+    Annual { peak_month0: u32, amplitude: f64, sharpness: f64 },
+    /// Two annual peaks (e.g. diarrhea at the season changes, Fig. 6b).
+    BiAnnual { peaks0: [u32; 2], amplitude: f64, sharpness: f64 },
+    /// Explicit multiplier per calendar month (must have 12 entries, all
+    /// non-negative).
+    Custom(Vec<f64>),
+}
+
+impl SeasonalProfile {
+    /// Prevalence multiplier for zero-based calendar month `m0 ∈ 0..12`.
+    /// Always ≥ 0; `Flat` returns exactly 1.
+    pub fn multiplier(&self, m0: u32) -> f64 {
+        assert!(m0 < 12, "month-of-year must be 0..12, got {m0}");
+        match self {
+            SeasonalProfile::Flat => 1.0,
+            SeasonalProfile::Annual { peak_month0, amplitude, sharpness } => {
+                1.0 + amplitude * peak_kernel(m0, *peak_month0, *sharpness)
+            }
+            SeasonalProfile::BiAnnual { peaks0, amplitude, sharpness } => {
+                let k = peak_kernel(m0, peaks0[0], *sharpness)
+                    + peak_kernel(m0, peaks0[1], *sharpness);
+                1.0 + amplitude * k
+            }
+            SeasonalProfile::Custom(values) => {
+                assert_eq!(values.len(), 12, "Custom profile needs 12 multipliers");
+                let v = values[m0 as usize];
+                assert!(v >= 0.0, "Custom multipliers must be non-negative");
+                v
+            }
+        }
+    }
+
+    /// True when the profile varies over the year.
+    pub fn is_seasonal(&self) -> bool {
+        !matches!(self, SeasonalProfile::Flat)
+    }
+}
+
+/// Von-Mises-style circular bump: exp(sharpness·(cos(angle) − 1)), which is 1
+/// at the peak month and decays smoothly with circular distance.
+fn peak_kernel(m0: u32, peak0: u32, sharpness: f64) -> f64 {
+    let angle = 2.0 * std::f64::consts::PI * ((m0 as f64 - peak0 as f64) / 12.0);
+    (sharpness * (angle.cos() - 1.0)).exp()
+}
+
+/// A one-off epidemic spike: in `month`, the disease's prevalence is further
+/// multiplied by `magnitude` (> 1). These create the outliers the state space
+/// model's irregular component must absorb (Fig. 6a).
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct OutbreakEvent {
+    pub disease: DiseaseId,
+    pub month: Month,
+    pub magnitude: f64,
+}
+
+impl OutbreakEvent {
+    /// Extra multiplier contributed by this event at dataset month `t`.
+    pub fn multiplier_at(&self, disease: DiseaseId, t: Month) -> f64 {
+        if self.disease == disease && self.month == t {
+            self.magnitude
+        } else {
+            1.0
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn flat_is_one_everywhere() {
+        for m in 0..12 {
+            assert_eq!(SeasonalProfile::Flat.multiplier(m), 1.0);
+        }
+        assert!(!SeasonalProfile::Flat.is_seasonal());
+    }
+
+    #[test]
+    fn annual_peaks_at_peak_month() {
+        let p = SeasonalProfile::Annual { peak_month0: 1, amplitude: 4.0, sharpness: 3.0 };
+        let at_peak = p.multiplier(1);
+        assert!((at_peak - 5.0).abs() < 1e-12, "peak multiplier {at_peak}");
+        for m in 0..12 {
+            assert!(p.multiplier(m) <= at_peak + 1e-12);
+            assert!(p.multiplier(m) >= 1.0);
+        }
+        // Opposite season is near baseline.
+        assert!(p.multiplier(7) < 1.05);
+    }
+
+    #[test]
+    fn annual_wraps_circularly() {
+        // Peak in December: January should be nearly as high as November.
+        let p = SeasonalProfile::Annual { peak_month0: 11, amplitude: 2.0, sharpness: 2.0 };
+        let jan = p.multiplier(0);
+        let nov = p.multiplier(10);
+        assert!((jan - nov).abs() < 1e-12, "circular symmetry: {jan} vs {nov}");
+    }
+
+    #[test]
+    fn biannual_has_two_peaks() {
+        let p = SeasonalProfile::BiAnnual { peaks0: [3, 9], amplitude: 3.0, sharpness: 4.0 };
+        let spring = p.multiplier(3);
+        let autumn = p.multiplier(9);
+        let summer = p.multiplier(6);
+        assert!(spring > 3.0 && autumn > 3.0);
+        assert!(summer < spring && summer < autumn);
+    }
+
+    #[test]
+    fn custom_profile_lookup() {
+        let mut v = vec![1.0; 12];
+        v[5] = 7.5;
+        let p = SeasonalProfile::Custom(v);
+        assert_eq!(p.multiplier(5), 7.5);
+        assert_eq!(p.multiplier(0), 1.0);
+        assert!(p.is_seasonal());
+    }
+
+    #[test]
+    #[should_panic(expected = "12 multipliers")]
+    fn custom_wrong_length_panics() {
+        SeasonalProfile::Custom(vec![1.0; 11]).multiplier(0);
+    }
+
+    #[test]
+    fn outbreak_only_hits_its_cell() {
+        let e = OutbreakEvent { disease: DiseaseId(2), month: Month(10), magnitude: 3.0 };
+        assert_eq!(e.multiplier_at(DiseaseId(2), Month(10)), 3.0);
+        assert_eq!(e.multiplier_at(DiseaseId(2), Month(11)), 1.0);
+        assert_eq!(e.multiplier_at(DiseaseId(1), Month(10)), 1.0);
+    }
+}

@@ -1,0 +1,332 @@
+//! Month-by-month claims simulator.
+//!
+//! For every month the simulator walks the patient panel: a patient who
+//! visits produces one [`MicRecord`] at one of their preferred hospitals,
+//! containing their chronic conditions plus seasonally-drawn acute diseases,
+//! and the medicines physicians prescribe for each diagnosis event. The
+//! medicine draw follows the world's time-varying
+//! [`World::medication_weights`], and — this is the point — the record keeps
+//! the diseases and medicines as **unlinked bags**, with the generating link
+//! recorded only in the hidden `truth_links` field.
+//!
+//! The generative process intentionally matches the paper's model
+//! assumptions: the number of medicines prescribed for a disease is
+//! proportional to its diagnosis count in the record (the paper's Eq. 2
+//! rationale), and medicines are drawn from disease-conditional
+//! distributions (the paper's `φ_d`).
+
+use crate::catalog::DiseaseKind;
+use crate::ids::{CityId, DiseaseId, Month};
+use crate::record::{ClaimsDataset, MicRecord, MonthlyDataset};
+use crate::world::{PrescribeContext, World};
+use mic_stats::dist::{sample_categorical, sample_poisson};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use std::collections::HashMap;
+
+/// Claims simulator over a [`World`].
+pub struct Simulator<'w> {
+    world: &'w World,
+    seed: u64,
+}
+
+impl<'w> Simulator<'w> {
+    pub fn new(world: &'w World, seed: u64) -> Simulator<'w> {
+        Simulator { world, seed }
+    }
+
+    /// Simulate the full observation window.
+    pub fn run(&self) -> ClaimsDataset {
+        let mut months = Vec::with_capacity(self.world.horizon as usize);
+        for t in 0..self.world.horizon {
+            months.push(self.run_month(Month(t)));
+        }
+        ClaimsDataset {
+            start: self.world.start,
+            months,
+            n_diseases: self.world.diseases.len(),
+            n_medicines: self.world.medicines.len(),
+        }
+    }
+
+    /// Simulate a single month. Seeding is per-month so months can be
+    /// regenerated independently and the whole run is deterministic.
+    pub fn run_month(&self, t: Month) -> MonthlyDataset {
+        let mut rng = SmallRng::seed_from_u64(self.seed ^ (0x9e37_79b9 + t.0 as u64));
+        let w = self.world;
+
+        // Acute-disease draw weights for this month (chronic conditions enter
+        // records via the patient panel, not via acute draws).
+        let acute: Vec<DiseaseId> = w
+            .diseases
+            .iter()
+            .filter(|d| d.kind != DiseaseKind::Chronic)
+            .map(|d| d.id)
+            .collect();
+        let acute_weights: Vec<f64> = acute.iter().map(|&d| w.diagnosis_weight(d, t)).collect();
+        let acute_total: f64 = acute_weights.iter().sum();
+        // Seasonal pressure: how much more acute illness than baseline this
+        // month carries (drives winter visit surges).
+        let base_total: f64 = acute.iter().map(|&d| w.diseases[d.index()].base_prevalence).sum();
+        let pressure = if base_total > 0.0 { acute_total / base_total } else { 1.0 };
+
+        // Per-month medication-weight cache: (disease, class, city) → weights.
+        let mut cache: HashMap<(DiseaseId, u8, CityId), (Vec<crate::ids::MedicineId>, Vec<f64>)> =
+            HashMap::new();
+
+        let mut records = Vec::new();
+        for patient in &w.patients {
+            if !rng.gen_bool(patient.visit_prob) {
+                continue;
+            }
+            // Pick the hospital for this month's claims.
+            let hospital = if patient.hospitals.len() == 1 {
+                patient.hospitals[0].0
+            } else {
+                let weights: Vec<f64> = patient.hospitals.iter().map(|&(_, w)| w).collect();
+                patient.hospitals[sample_categorical(&mut rng, &weights)].0
+            };
+            let hosp = &w.hospitals[hospital.index()];
+            let ctx = PrescribeContext { class: hosp.class(), city: hosp.city };
+
+            // --- Disease bag ---
+            let mut bag: Vec<(DiseaseId, u32)> = Vec::new();
+            for &c in &patient.chronic {
+                if rng.gen_bool(0.9) {
+                    let count = 1 + sample_poisson(&mut rng, 0.3) as u32;
+                    bag.push((c, count));
+                }
+            }
+            if acute_total > 0.0 {
+                let n_acute = sample_poisson(&mut rng, w.acute_rate * pressure) as usize;
+                for _ in 0..n_acute {
+                    let d = acute[sample_categorical(&mut rng, &acute_weights)];
+                    match bag.iter_mut().find(|(id, _)| *id == d) {
+                        Some(entry) => entry.1 += 1,
+                        None => bag.push((d, 1)),
+                    }
+                }
+            }
+            if bag.is_empty() {
+                continue; // No diagnosis → no claim this month.
+            }
+
+            // --- Medicine bag with hidden truth links ---
+            let mut medicines = Vec::new();
+            let mut truth_links = Vec::new();
+            for &(d, count) in &bag {
+                let key = (d, ctx.class as u8, ctx.city);
+                let (meds, weights) = cache.entry(key).or_insert_with(|| {
+                    let mw = w.medication_weights(d, t, ctx);
+                    (mw.iter().map(|&(m, _)| m).collect(), mw.iter().map(|&(_, w)| w).collect())
+                });
+                if meds.is_empty() {
+                    continue;
+                }
+                for _ in 0..count {
+                    let n_meds = sample_poisson(&mut rng, w.meds_per_diagnosis) as usize;
+                    for _ in 0..n_meds {
+                        let m = meds[sample_categorical(&mut rng, weights)];
+                        medicines.push(m);
+                        truth_links.push(d);
+                    }
+                }
+            }
+
+            records.push(MicRecord {
+                patient: patient.id,
+                hospital,
+                diseases: bag,
+                medicines,
+                truth_links,
+            });
+        }
+        MonthlyDataset { month: t, records }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::catalog::{HospitalClass, MedicineClass};
+    use crate::seasonality::SeasonalProfile;
+    use crate::world::{WorldBuilder, WorldSpec};
+    use crate::ids::YearMonth;
+
+    #[test]
+    fn dataset_is_structurally_valid() {
+        let world = WorldSpec::tiny().generate();
+        let ds = Simulator::new(&world, 1).run();
+        assert_eq!(ds.horizon(), 18);
+        ds.validate().expect("simulated dataset must validate");
+        assert!(ds.total_records() > 100, "got {}", ds.total_records());
+    }
+
+    #[test]
+    fn simulation_is_deterministic() {
+        let world = WorldSpec::tiny().generate();
+        let a = Simulator::new(&world, 5).run();
+        let b = Simulator::new(&world, 5).run();
+        assert_eq!(a.total_records(), b.total_records());
+        for (ma, mb) in a.months.iter().zip(&b.months) {
+            assert_eq!(ma.records, mb.records);
+        }
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let world = WorldSpec::tiny().generate();
+        let a = Simulator::new(&world, 5).run();
+        let b = Simulator::new(&world, 6).run();
+        let identical = a.months.iter().zip(&b.months).all(|(x, y)| x.records == y.records);
+        assert!(!identical);
+    }
+
+    #[test]
+    fn months_independent_of_each_other() {
+        // run_month(t) alone equals month t of a full run.
+        let world = WorldSpec::tiny().generate();
+        let sim = Simulator::new(&world, 9);
+        let full = sim.run();
+        let alone = sim.run_month(Month(7));
+        assert_eq!(full.months[7].records, alone.records);
+    }
+
+    #[test]
+    fn truth_links_point_to_plausible_sources() {
+        // Every truth link must be either an indication or a misprescription
+        // channel in the world.
+        let world = WorldSpec::tiny().generate();
+        let ds = Simulator::new(&world, 2).run();
+        for month in &ds.months {
+            for r in &month.records {
+                for (l, &m) in r.medicines.iter().enumerate() {
+                    let d = r.truth_links[l];
+                    let ok = world
+                        .indications
+                        .iter()
+                        .any(|ind| ind.disease == d && ind.medicine == m)
+                        || world
+                            .misprescriptions
+                            .iter()
+                            .any(|mp| mp.disease == d && mp.medicine == m);
+                    assert!(ok, "prescription {m} for {d} has no generating channel");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn no_prescriptions_before_release() {
+        let world = WorldSpec::tiny().generate();
+        let ds = Simulator::new(&world, 3).run();
+        for month in &ds.months {
+            for r in &month.records {
+                for &m in &r.medicines {
+                    assert!(
+                        world.medicines[m.index()].available_at(month.month),
+                        "medicine {m} prescribed before its release"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn seasonal_disease_peaks_in_season() {
+        // Build a 24-month world with one strongly-seasonal disease and one
+        // flat disease; the seasonal one must be diagnosed far more at peak.
+        let mut b = WorldBuilder::new(YearMonth::new(2013, 1), 24);
+        let flu = b.disease(
+            "influenza",
+            DiseaseKind::Viral,
+            1.0,
+            SeasonalProfile::Annual { peak_month0: 0, amplitude: 8.0, sharpness: 4.0 },
+        );
+        let stable = b.disease("stable", DiseaseKind::Other, 1.0, SeasonalProfile::Flat);
+        let med = b.medicine("generic-med", MedicineClass::Other);
+        let anti = b.medicine("antiviral", MedicineClass::Antiviral);
+        b.indication(flu, anti, 1.0);
+        b.indication(stable, med, 1.0);
+        let city = b.city("c", 0, 0.5);
+        let h = b.hospital("h", city, 50);
+        for _ in 0..400 {
+            b.patient(city, vec![(h, 1.0)], vec![], 0.8);
+        }
+        let world = b.build();
+        let ds = Simulator::new(&world, 4).run();
+        // January (t=0, t=12) vs July (t=6, t=18).
+        let count = |t: usize, d: DiseaseId| {
+            ds.months[t].disease_frequencies(world.diseases.len())[d.index()]
+        };
+        let flu_peak = count(0, flu) + count(12, flu);
+        let flu_off = count(6, flu) + count(18, flu);
+        assert!(
+            flu_peak as f64 > 3.0 * (flu_off as f64 + 1.0),
+            "flu peak {flu_peak} vs off-season {flu_off}"
+        );
+        let stable_jan = count(0, stable) + count(12, stable);
+        let stable_jul = count(6, stable) + count(18, stable);
+        let ratio = stable_jan as f64 / stable_jul.max(1) as f64;
+        assert!(ratio < 1.5 && ratio > 0.5, "stable disease should not swing: {ratio}");
+    }
+
+    #[test]
+    fn misprescription_happens_mostly_at_small_hospitals() {
+        let mut b = WorldBuilder::new(YearMonth::new(2013, 1), 13);
+        let cold = b.disease("cold", DiseaseKind::Viral, 2.0, SeasonalProfile::Flat);
+        let abx = b.medicine("antibiotic", MedicineClass::Antibiotic);
+        b.misprescription(cold, abx, [1.0, 0.2, 0.02]);
+        // Give the viral disease a proper antiviral so records always have
+        // some legitimate channel too.
+        let av = b.medicine("antiviral", MedicineClass::Antiviral);
+        b.indication(cold, av, 1.0);
+        let city = b.city("c", 0, 0.5);
+        let small = b.hospital("clinic", city, 5);
+        let large = b.hospital("center", city, 800);
+        for i in 0..600 {
+            let h = if i % 2 == 0 { small } else { large };
+            b.patient(city, vec![(h, 1.0)], vec![], 0.8);
+        }
+        let world = b.build();
+        let ds = Simulator::new(&world, 11).run();
+        let mut small_abx = 0usize;
+        let mut large_abx = 0usize;
+        for month in &ds.months {
+            for r in &month.records {
+                let n = r.medicines.iter().filter(|&&m| m == abx).count();
+                if world.hospitals[r.hospital.index()].class() == HospitalClass::Small {
+                    small_abx += n;
+                } else {
+                    large_abx += n;
+                }
+            }
+        }
+        assert!(
+            small_abx > 5 * (large_abx + 1),
+            "small {small_abx} should dwarf large {large_abx}"
+        );
+    }
+
+    #[test]
+    fn record_shape_statistics_plausible() {
+        let world = WorldSpec::tiny().generate();
+        let ds = Simulator::new(&world, 8).run();
+        let mut total_d = 0.0;
+        let mut total_m = 0.0;
+        let mut n = 0.0;
+        for month in &ds.months {
+            for r in &month.records {
+                total_d += r.total_diagnoses() as f64;
+                total_m += r.prescription_count() as f64;
+                n += 1.0;
+            }
+        }
+        let avg_d = total_d / n;
+        let avg_m = total_m / n;
+        // The paper's real data: 7.4 diseases, 4.8 medicines per record. The
+        // tiny world is smaller but should be in the same regime.
+        assert!(avg_d > 1.5 && avg_d < 15.0, "avg diseases/record = {avg_d}");
+        assert!(avg_m > 0.8 && avg_m < 15.0, "avg medicines/record = {avg_m}");
+    }
+}

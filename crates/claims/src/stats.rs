@@ -1,0 +1,115 @@
+//! Dataset descriptive statistics, mirroring the numbers the paper reports
+//! in Section VI (records, unique diseases/medicines per month) and
+//! Section III-A (average diseases and medicines per record: 7.435 / 4.788
+//! in their data).
+
+use crate::record::ClaimsDataset;
+use mic_stats::Summary;
+use std::collections::HashSet;
+
+/// Aggregate statistics of a [`ClaimsDataset`].
+#[derive(Clone, Debug)]
+pub struct DatasetStats {
+    /// Number of months.
+    pub horizon: usize,
+    /// Per-month record counts.
+    pub records_per_month: Summary,
+    /// Per-month count of distinct diseases appearing.
+    pub diseases_per_month: Summary,
+    /// Per-month count of distinct medicines appearing.
+    pub medicines_per_month: Summary,
+    /// Average disease diagnoses per record (across all records).
+    pub avg_diseases_per_record: f64,
+    /// Average prescriptions per record (across all records).
+    pub avg_medicines_per_record: f64,
+    /// Distinct patients seen anywhere in the window.
+    pub distinct_patients: usize,
+    /// Distinct hospitals seen anywhere in the window.
+    pub distinct_hospitals: usize,
+}
+
+impl DatasetStats {
+    pub fn compute(ds: &ClaimsDataset) -> DatasetStats {
+        let mut records_pm = Vec::with_capacity(ds.horizon());
+        let mut diseases_pm = Vec::with_capacity(ds.horizon());
+        let mut medicines_pm = Vec::with_capacity(ds.horizon());
+        let mut total_diag = 0u64;
+        let mut total_rx = 0u64;
+        let mut total_records = 0u64;
+        let mut patients = HashSet::new();
+        let mut hospitals = HashSet::new();
+        for month in &ds.months {
+            records_pm.push(month.len() as f64);
+            let df = month.disease_frequencies(ds.n_diseases);
+            let mf = month.medicine_frequencies(ds.n_medicines);
+            diseases_pm.push(df.iter().filter(|&&f| f > 0).count() as f64);
+            medicines_pm.push(mf.iter().filter(|&&f| f > 0).count() as f64);
+            for r in &month.records {
+                total_diag += r.total_diagnoses() as u64;
+                total_rx += r.prescription_count() as u64;
+                total_records += 1;
+                patients.insert(r.patient);
+                hospitals.insert(r.hospital);
+            }
+        }
+        let denom = total_records.max(1) as f64;
+        DatasetStats {
+            horizon: ds.horizon(),
+            records_per_month: Summary::of(&records_pm),
+            diseases_per_month: Summary::of(&diseases_pm),
+            medicines_per_month: Summary::of(&medicines_pm),
+            avg_diseases_per_record: total_diag as f64 / denom,
+            avg_medicines_per_record: total_rx as f64 / denom,
+            distinct_patients: patients.len(),
+            distinct_hospitals: hospitals.len(),
+        }
+    }
+}
+
+impl std::fmt::Display for DatasetStats {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        writeln!(f, "months:                {}", self.horizon)?;
+        writeln!(f, "records/month:         {}", self.records_per_month)?;
+        writeln!(f, "diseases/month:        {}", self.diseases_per_month)?;
+        writeln!(f, "medicines/month:       {}", self.medicines_per_month)?;
+        writeln!(f, "avg diseases/record:   {:.3}", self.avg_diseases_per_record)?;
+        writeln!(f, "avg medicines/record:  {:.3}", self.avg_medicines_per_record)?;
+        writeln!(f, "distinct patients:     {}", self.distinct_patients)?;
+        write!(f, "distinct hospitals:    {}", self.distinct_hospitals)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::simulate::Simulator;
+    use crate::world::WorldSpec;
+
+    #[test]
+    fn stats_over_simulated_data() {
+        let world = WorldSpec::tiny().generate();
+        let ds = Simulator::new(&world, 1).run();
+        let stats = DatasetStats::compute(&ds);
+        assert_eq!(stats.horizon, 18);
+        assert!(stats.records_per_month.mean > 10.0);
+        assert!(stats.avg_diseases_per_record >= 1.0);
+        assert!(stats.distinct_patients <= 120);
+        assert!(stats.distinct_hospitals <= 6);
+        // Display renders without panicking and mentions months.
+        let text = stats.to_string();
+        assert!(text.contains("months"));
+    }
+
+    #[test]
+    fn stats_of_empty_dataset() {
+        let ds = ClaimsDataset {
+            start: crate::ids::YearMonth::paper_start(),
+            months: vec![],
+            n_diseases: 0,
+            n_medicines: 0,
+        };
+        let stats = DatasetStats::compute(&ds);
+        assert_eq!(stats.horizon, 0);
+        assert_eq!(stats.avg_diseases_per_record, 0.0);
+    }
+}

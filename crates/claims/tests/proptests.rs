@@ -1,0 +1,156 @@
+//! Property-based tests for the claims substrate: the simulator must emit
+//! structurally valid data for any world spec, and persistence must be a
+//! lossless round trip.
+
+use mic_claims::filter::FrequencyFilter;
+use mic_claims::store::{read_dataset, write_dataset};
+use mic_claims::{Simulator, WorldSpec};
+use proptest::prelude::*;
+
+fn small_spec() -> impl Strategy<Value = WorldSpec> {
+    (
+        0u64..1000,           // seed
+        13u32..30,            // months
+        6usize..40,           // diseases
+        8usize..50,           // medicines
+        20usize..200,         // patients
+        2usize..8,            // hospitals
+        1usize..4,            // cities
+    )
+        .prop_map(|(seed, months, n_diseases, n_medicines, n_patients, n_hospitals, n_cities)| {
+            WorldSpec {
+                seed,
+                months,
+                n_diseases: n_diseases.max(4),
+                n_medicines: n_medicines.max(6),
+                n_patients,
+                n_hospitals,
+                n_cities,
+                n_new_medicines: 1,
+                n_generic_entries: 1,
+                n_indication_expansions: 1,
+                n_price_revisions: 1,
+                n_outbreaks: 1,
+                ..WorldSpec::default()
+            }
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    #[test]
+    fn simulated_datasets_always_validate(spec in small_spec()) {
+        let world = spec.generate();
+        let ds = Simulator::new(&world, spec.seed ^ 0xabcd).run();
+        prop_assert!(ds.validate().is_ok());
+        prop_assert_eq!(ds.horizon() as u32, spec.months);
+        // Truth links always point at a generating channel.
+        for month in &ds.months {
+            for r in &month.records {
+                for (l, &m) in r.medicines.iter().enumerate() {
+                    let d = r.truth_links[l];
+                    let ok = world.indications.iter().any(|i| i.disease == d && i.medicine == m)
+                        || world.misprescriptions.iter().any(|mp| mp.disease == d && mp.medicine == m);
+                    prop_assert!(ok);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn store_round_trip(spec in small_spec()) {
+        let world = spec.generate();
+        let ds = Simulator::new(&world, 17).run();
+        let mut buf = Vec::new();
+        write_dataset(&ds, &mut buf).unwrap();
+        let back = read_dataset(&buf[..]).unwrap();
+        prop_assert_eq!(back.start, ds.start);
+        prop_assert_eq!(back.months.len(), ds.months.len());
+        for (a, b) in ds.months.iter().zip(&back.months) {
+            prop_assert_eq!(&a.records, &b.records);
+        }
+    }
+
+    #[test]
+    fn filtering_never_increases_counts_and_respects_threshold(
+        spec in small_spec(),
+        threshold in 0u64..10,
+    ) {
+        let world = spec.generate();
+        let ds = Simulator::new(&world, 23).run();
+        let filter = FrequencyFilter { min_monthly_count: threshold };
+        for month in &ds.months {
+            let (filtered, vocab) = filter.filter_month(month, ds.n_diseases, ds.n_medicines);
+            prop_assert!(filtered.records.len() <= month.records.len());
+            // Every surviving disease/medicine met the threshold.
+            let df = filtered.disease_frequencies(ds.n_diseases);
+            let mf = filtered.medicine_frequencies(ds.n_medicines);
+            for (d, &freq) in df.iter().enumerate() {
+                if freq > 0 {
+                    prop_assert!(vocab.kept_diseases[d]);
+                }
+            }
+            for (m, &freq) in mf.iter().enumerate() {
+                if freq > 0 {
+                    prop_assert!(vocab.kept_medicines[m]);
+                }
+            }
+            // Filtering is idempotent at the same threshold only in the
+            // weaker sense that kept entities keep satisfying the original
+            // monthly counts; check no record has an empty disease bag.
+            for r in &filtered.records {
+                prop_assert!(!r.diseases.is_empty());
+                prop_assert_eq!(r.medicines.len(), r.truth_links.len());
+            }
+        }
+    }
+
+    #[test]
+    fn parser_never_panics_on_corrupted_input(
+        spec in small_spec(),
+        corruption in prop::collection::vec((0usize..5000, 0u8..=255), 1..20),
+    ) {
+        // Serialise a valid dataset, flip arbitrary bytes, and require the
+        // parser to either succeed or return an error — never panic.
+        let world = spec.generate();
+        let ds = Simulator::new(&world, 31).run();
+        let mut buf = Vec::new();
+        write_dataset(&ds, &mut buf).unwrap();
+        for (pos, byte) in corruption {
+            if !buf.is_empty() {
+                let idx = pos % buf.len();
+                buf[idx] = byte;
+            }
+        }
+        let _ = read_dataset(&buf[..]); // Ok or Err — both fine.
+    }
+
+    #[test]
+    fn parser_never_panics_on_garbage(
+        garbage in prop::collection::vec(any::<u8>(), 0..400),
+    ) {
+        let _ = read_dataset(&garbage[..]);
+        // Also try with a valid header prefix glued on.
+        let mut with_header = b"#mic-claims v1\n".to_vec();
+        with_header.extend_from_slice(&garbage);
+        let _ = read_dataset(&with_header[..]);
+    }
+
+    #[test]
+    fn medication_weights_nonnegative_and_available(spec in small_spec()) {
+        use mic_claims::world::PrescribeContext;
+        use mic_claims::{CityId, HospitalClass, Month};
+        let world = spec.generate();
+        let ctx = PrescribeContext { class: HospitalClass::Small, city: CityId(0) };
+        for t in [0, spec.months / 2, spec.months - 1] {
+            for d in 0..world.diseases.len() {
+                let weights = world.medication_weights(mic_claims::DiseaseId(d as u32), Month(t), ctx);
+                for (m, w) in weights {
+                    prop_assert!(w > 0.0);
+                    prop_assert!(world.medicines[m.index()].available_at(Month(t)));
+                }
+            }
+        }
+    }
+}

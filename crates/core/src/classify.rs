@@ -1,0 +1,112 @@
+//! Change-cause categorisation (Fig. 1b).
+//!
+//! A structural change in a prescription series `(d, m)` is attributed by
+//! checking whether the *marginal* series also broke at (about) the same
+//! time: if the medicine series broke, the cause is medicine-derived (new
+//! release, price revision, generic entry); else if the disease series
+//! broke, it is disease-derived (epidemic regime shift); otherwise it is a
+//! genuinely pair-specific — prescription-derived — change (new indication,
+//! diagnostic substitution).
+
+/// Cause category for a detected prescription trend change.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum ChangeCause {
+    /// The medicine's own series changed too (release / price / generics).
+    MedicineDerived,
+    /// The disease's series changed too (epidemiology).
+    DiseaseDerived,
+    /// Only the pair changed (indication expansion, diagnostic shift).
+    PrescriptionDerived,
+}
+
+impl std::fmt::Display for ChangeCause {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ChangeCause::MedicineDerived => write!(f, "medicine-derived"),
+            ChangeCause::DiseaseDerived => write!(f, "disease-derived"),
+            ChangeCause::PrescriptionDerived => write!(f, "prescription-derived"),
+        }
+    }
+}
+
+/// Months of slack when matching a pair change point against a marginal
+/// change point.
+pub const MATCH_WINDOW: i64 = 3;
+
+/// Categorise a prescription change at `pair_cp`.
+///
+/// * `disease_cp` / `medicine_cp` — change points (if any) detected in the
+///   disease and medicine marginal series;
+/// * `sibling_pair_breaks` — how many *other* prescription pairs of the same
+///   medicine broke within the match window of `pair_cp`.
+///
+/// A medicine-side event (release, price revision, generic entry) moves the
+/// medicine's whole portfolio, so medicine-derived requires the medicine
+/// marginal to break **and** at least one sibling pair to break with it. A
+/// pair-specific event (indication expansion) also lifts the medicine
+/// marginal — because the pair *is* part of the marginal — but leaves the
+/// siblings untouched, which is exactly how the paper distinguishes its
+/// Fig. 7a case ("this is not a new medicine because it was prescribed to
+/// other diseases").
+pub fn classify_change(
+    pair_cp: usize,
+    disease_cp: Option<usize>,
+    medicine_cp: Option<usize>,
+    sibling_pair_breaks: usize,
+) -> ChangeCause {
+    let matches = |cp: Option<usize>| {
+        cp.is_some_and(|c| (c as i64 - pair_cp as i64).abs() <= MATCH_WINDOW)
+    };
+    if matches(medicine_cp) && sibling_pair_breaks >= 1 {
+        ChangeCause::MedicineDerived
+    } else if matches(disease_cp) {
+        ChangeCause::DiseaseDerived
+    } else {
+        ChangeCause::PrescriptionDerived
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn medicine_match_with_sibling_support_wins() {
+        assert_eq!(classify_change(10, Some(10), Some(11), 2), ChangeCause::MedicineDerived);
+        assert_eq!(classify_change(10, None, Some(13), 1), ChangeCause::MedicineDerived);
+    }
+
+    #[test]
+    fn medicine_match_without_siblings_is_prescription_derived() {
+        // The Fig. 7a situation: the pair's own mass lifts the medicine
+        // marginal, but no sibling pair broke — a new indication, not a new
+        // medicine.
+        assert_eq!(classify_change(10, None, Some(11), 0), ChangeCause::PrescriptionDerived);
+    }
+
+    #[test]
+    fn disease_match_when_medicine_far() {
+        assert_eq!(classify_change(10, Some(9), Some(30), 5), ChangeCause::DiseaseDerived);
+        assert_eq!(classify_change(10, Some(7), None, 0), ChangeCause::DiseaseDerived);
+    }
+
+    #[test]
+    fn prescription_derived_when_neither_matches() {
+        assert_eq!(classify_change(10, None, None, 0), ChangeCause::PrescriptionDerived);
+        assert_eq!(classify_change(10, Some(25), Some(2), 3), ChangeCause::PrescriptionDerived);
+    }
+
+    #[test]
+    fn window_boundary() {
+        assert_eq!(classify_change(10, None, Some(13), 1), ChangeCause::MedicineDerived);
+        assert_eq!(classify_change(10, None, Some(14), 1), ChangeCause::PrescriptionDerived);
+        assert_eq!(classify_change(10, None, Some(7), 1), ChangeCause::MedicineDerived);
+        assert_eq!(classify_change(10, None, Some(6), 1), ChangeCause::PrescriptionDerived);
+    }
+
+    #[test]
+    fn display() {
+        assert_eq!(ChangeCause::MedicineDerived.to_string(), "medicine-derived");
+        assert_eq!(ChangeCause::PrescriptionDerived.to_string(), "prescription-derived");
+    }
+}

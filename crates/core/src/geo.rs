@@ -1,0 +1,178 @@
+//! Geographical prescription spread analysis (paper Section VII-B, Fig. 8).
+//!
+//! The dataset is split by the city of the hospital that created each
+//! record; a medication model is learned per city, and the per-city
+//! prescription counts of a medicine family (an original and its generics)
+//! are compared at snapshot months around the generics' release.
+
+use mic_claims::{ClaimsDataset, CityId, MedicineId, MonthlyDataset, World};
+use mic_linkmodel::{EmOptions, MedicationModel, PanelBuilder, PrescriptionPanel};
+use std::collections::HashMap;
+
+/// Split a dataset into per-city datasets using the world's hospital→city
+/// mapping.
+pub fn split_by_city(ds: &ClaimsDataset, world: &World) -> HashMap<CityId, ClaimsDataset> {
+    let mut out: HashMap<CityId, ClaimsDataset> = HashMap::new();
+    for city in &world.cities {
+        out.insert(
+            city.id,
+            ClaimsDataset {
+                start: ds.start,
+                months: (0..ds.horizon())
+                    .map(|t| MonthlyDataset { month: mic_claims::Month(t as u32), records: vec![] })
+                    .collect(),
+                n_diseases: ds.n_diseases,
+                n_medicines: ds.n_medicines,
+            },
+        );
+    }
+    for (t, month) in ds.months.iter().enumerate() {
+        for r in &month.records {
+            let city = world.hospitals[r.hospital.index()].city;
+            out.get_mut(&city).expect("city exists").months[t].records.push(r.clone());
+        }
+    }
+    out
+}
+
+/// Per-city reproduced panels.
+pub fn city_panels(
+    ds: &ClaimsDataset,
+    world: &World,
+    em: &EmOptions,
+) -> HashMap<CityId, PrescriptionPanel> {
+    split_by_city(ds, world)
+        .into_iter()
+        .map(|(city, cds)| {
+            let mut builder = PanelBuilder::new(cds.n_diseases, cds.n_medicines, cds.horizon());
+            for month in &cds.months {
+                let model = MedicationModel::fit(month, cds.n_diseases, cds.n_medicines, em);
+                builder.add_month(month, &model);
+            }
+            (city, builder.build())
+        })
+        .collect()
+}
+
+/// One city's share snapshot for a medicine family at one month.
+#[derive(Clone, Debug)]
+pub struct CityShare {
+    pub city: CityId,
+    /// Monthly medicine-series value for the original.
+    pub original: f64,
+    /// Monthly values for each generic, in the order given.
+    pub generics: Vec<f64>,
+}
+
+impl CityShare {
+    /// Fraction of the family's prescriptions that are generic.
+    pub fn generic_share(&self) -> f64 {
+        let g: f64 = self.generics.iter().sum();
+        let total = g + self.original;
+        if total == 0.0 {
+            0.0
+        } else {
+            g / total
+        }
+    }
+}
+
+/// Snapshot the original-vs-generics prescription counts per city at month
+/// `t` — one row of Fig. 8.
+pub fn spread_snapshot(
+    panels: &HashMap<CityId, PrescriptionPanel>,
+    original: MedicineId,
+    generics: &[MedicineId],
+    t: usize,
+) -> Vec<CityShare> {
+    let mut rows: Vec<CityShare> = panels
+        .iter()
+        .map(|(&city, panel)| CityShare {
+            city,
+            original: panel.medicine_series(original)[t],
+            generics: generics.iter().map(|&g| panel.medicine_series(g)[t]).collect(),
+        })
+        .collect();
+    rows.sort_by_key(|r| r.city);
+    rows
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mic_claims::{Simulator, WorldSpec};
+
+    fn world_with_generics() -> (mic_claims::World, ClaimsDataset) {
+        let spec = WorldSpec {
+            n_diseases: 10,
+            n_medicines: 12,
+            n_patients: 400,
+            n_hospitals: 6,
+            n_cities: 3,
+            months: 24,
+            n_new_medicines: 0,
+            n_generic_entries: 1,
+            n_indication_expansions: 0,
+            n_price_revisions: 0,
+            n_outbreaks: 0,
+            n_prevalence_shifts: 0,
+            ..WorldSpec::default()
+        };
+        let world = spec.generate();
+        let ds = Simulator::new(&world, 77).run();
+        (world, ds)
+    }
+
+    #[test]
+    fn split_by_city_partitions_records() {
+        let (world, ds) = world_with_generics();
+        let split = split_by_city(&ds, &world);
+        assert_eq!(split.len(), 3);
+        let total: usize = split.values().map(|c| c.total_records()).sum();
+        assert_eq!(total, ds.total_records());
+        // Every record landed in its hospital's city.
+        for (city, cds) in &split {
+            for month in &cds.months {
+                for r in &month.records {
+                    assert_eq!(world.hospitals[r.hospital.index()].city, *city);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn generic_share_grows_after_entry() {
+        let (world, ds) = world_with_generics();
+        let (original, generics, entry) = world
+            .events
+            .iter()
+            .find_map(|e| match e {
+                mic_claims::MarketEvent::GenericEntry { original, generics, month } => {
+                    Some((*original, generics.clone(), *month))
+                }
+                _ => None,
+            })
+            .expect("world has a generic entry");
+        let panels = city_panels(&ds, &world, &EmOptions::default());
+        let before = spread_snapshot(&panels, original, &generics, entry.index().saturating_sub(1));
+        let late_t = ds.horizon() - 1;
+        let after = spread_snapshot(&panels, original, &generics, late_t);
+        let share_before: f64 =
+            before.iter().map(|r| r.generic_share()).sum::<f64>() / before.len() as f64;
+        let share_after: f64 =
+            after.iter().map(|r| r.generic_share()).sum::<f64>() / after.len() as f64;
+        assert!(share_before < 0.05, "no generics before entry: {share_before}");
+        assert!(
+            share_after > share_before + 0.1,
+            "generic share should grow: {share_before} → {share_after}"
+        );
+    }
+
+    #[test]
+    fn city_share_math() {
+        let s = CityShare { city: CityId(0), original: 6.0, generics: vec![2.0, 2.0] };
+        assert!((s.generic_share() - 0.4).abs() < 1e-12);
+        let zero = CityShare { city: CityId(1), original: 0.0, generics: vec![0.0] };
+        assert_eq!(zero.generic_share(), 0.0);
+    }
+}

@@ -1,0 +1,32 @@
+//! # mic-trend
+//!
+//! The paper's end-to-end prescription trend analysis pipeline and its three
+//! applications (Section VII):
+//!
+//! - [`pipeline`] — monthly medication-model fits → reproduced prescription
+//!   panel → parallel state-space fleet → per-series change reports;
+//! - [`classify`] — categorisation of detected changes into disease-,
+//!   medicine-, and prescription-derived causes (Fig. 1b);
+//! - [`geo`] — geographical prescription spread analysis (Fig. 8): per-city
+//!   models quantifying generic uptake;
+//! - [`hospital`] — inter-hospital prescription gap analysis (Table II):
+//!   per-hospital-class models ranking the diseases a medicine is
+//!   prescribed for;
+//! - [`parallel`] — a small scoped-thread work-stealing map used to fit the
+//!   hundreds of thousands of series the paper processes;
+//! - [`report`] — fixed-width table and CSV rendering of results.
+
+pub mod classify;
+pub mod event_study;
+pub mod geo;
+pub mod hospital;
+pub mod outbreak;
+pub mod parallel;
+pub mod pipeline;
+pub mod report;
+
+pub use classify::{classify_change, ChangeCause};
+pub use event_study::{event_study, EventStudy};
+pub use outbreak::{detect_outbreaks, OutbreakAlert, OutbreakConfig};
+pub use parallel::parallel_map;
+pub use pipeline::{PipelineConfig, SeriesReport, TrendPipeline, TrendReport};

@@ -1,0 +1,328 @@
+//! The end-to-end trend analysis pipeline (Fig. 1).
+//!
+//! Stage 1 fits the medication model to each (frequency-filtered) monthly
+//! dataset and reproduces the prescription panel (Eqs. 7–8). Stage 2 fits
+//! the state space model with AIC change-point search to every series that
+//! survives the total-frequency filter, in parallel, and categorises the
+//! detected changes.
+
+use crate::classify::{classify_change, ChangeCause};
+use crate::parallel::{default_threads, parallel_map};
+use mic_claims::{ClaimsDataset, FrequencyFilter};
+use mic_linkmodel::{EmOptions, MedicationModel, PanelBuilder, PrescriptionPanel, SeriesKey};
+use mic_statespace::{
+    approx_change_point, exact_change_point, ChangePoint, ChangePointSearch, FitOptions,
+};
+use std::collections::HashMap;
+
+/// Pipeline configuration.
+#[derive(Clone, Debug)]
+pub struct PipelineConfig {
+    /// Per-month entity frequency filter (paper: ≥ 5 appearances).
+    pub frequency_filter: FrequencyFilter,
+    /// Minimum total series mass over the window (paper: 10).
+    pub series_min_total: f64,
+    /// EM options for the medication model.
+    pub em: EmOptions,
+    /// State-space fitting budget.
+    pub fit: FitOptions,
+    /// Use the binary-search change-point detection (Algorithm 2) instead of
+    /// the exhaustive search (Algorithm 1).
+    pub approximate_search: bool,
+    /// Include the seasonal component (the paper always does for its full
+    /// model; disable for small-T tests).
+    pub seasonal: bool,
+    /// Worker threads for the state-space fleet (0 = auto).
+    pub threads: usize,
+}
+
+impl Default for PipelineConfig {
+    fn default() -> Self {
+        PipelineConfig {
+            frequency_filter: FrequencyFilter::default(),
+            series_min_total: 10.0,
+            em: EmOptions::default(),
+            fit: FitOptions::default(),
+            approximate_search: true,
+            seasonal: true,
+            threads: 0,
+        }
+    }
+}
+
+/// Per-series change detection result.
+#[derive(Clone, Debug)]
+pub struct SeriesReport {
+    pub key: SeriesKey,
+    pub change_point: ChangePoint,
+    /// AIC of the selected model.
+    pub aic: f64,
+    /// AIC of the no-intervention model.
+    pub aic_no_change: f64,
+    /// Estimated intervention scale λ (0 when no change detected).
+    pub lambda: f64,
+    /// Model fits spent on this series.
+    pub fits_performed: usize,
+}
+
+impl SeriesReport {
+    /// AIC improvement of the intervention model over the plain model
+    /// (positive = change point helps).
+    pub fn aic_gain(&self) -> f64 {
+        self.aic_no_change - self.aic
+    }
+}
+
+/// Full pipeline output.
+#[derive(Debug)]
+pub struct TrendReport {
+    /// The reproduced panel (kept for decomposition / plotting).
+    pub panel: PrescriptionPanel,
+    /// One report per analysed series.
+    pub series: Vec<SeriesReport>,
+    /// Cause categorisation for prescription series with a detected change.
+    pub causes: Vec<(SeriesKey, ChangeCause)>,
+}
+
+impl TrendReport {
+    /// Reports with a detected change point, most-significant first.
+    pub fn detected(&self) -> Vec<&SeriesReport> {
+        let mut v: Vec<&SeriesReport> =
+            self.series.iter().filter(|r| r.change_point.is_some()).collect();
+        v.sort_by(|a, b| b.aic_gain().partial_cmp(&a.aic_gain()).expect("NaN gain"));
+        v
+    }
+
+    /// Fraction of disease / medicine / prescription series with a change.
+    pub fn detection_rates(&self) -> (f64, f64, f64) {
+        let mut counts = [(0usize, 0usize); 3];
+        for r in &self.series {
+            let slot = match r.key {
+                SeriesKey::Disease(_) => 0,
+                SeriesKey::Medicine(_) => 1,
+                SeriesKey::Prescription(..) => 2,
+            };
+            counts[slot].1 += 1;
+            if r.change_point.is_some() {
+                counts[slot].0 += 1;
+            }
+        }
+        let rate = |(hits, total): (usize, usize)| {
+            if total == 0 {
+                0.0
+            } else {
+                hits as f64 / total as f64
+            }
+        };
+        (rate(counts[0]), rate(counts[1]), rate(counts[2]))
+    }
+
+    /// Look up the report for a key.
+    pub fn report_for(&self, key: SeriesKey) -> Option<&SeriesReport> {
+        self.series.iter().find(|r| r.key == key)
+    }
+}
+
+/// The pipeline driver.
+pub struct TrendPipeline {
+    pub config: PipelineConfig,
+}
+
+impl TrendPipeline {
+    pub fn new(config: PipelineConfig) -> TrendPipeline {
+        TrendPipeline { config }
+    }
+
+    /// Stage 1: fit monthly medication models and reproduce the panel.
+    pub fn reproduce_panel(&self, ds: &ClaimsDataset) -> PrescriptionPanel {
+        let mut builder = PanelBuilder::new(ds.n_diseases, ds.n_medicines, ds.horizon());
+        for month in &ds.months {
+            let (filtered, _) =
+                self.config.frequency_filter.filter_month(month, ds.n_diseases, ds.n_medicines);
+            let model =
+                MedicationModel::fit(&filtered, ds.n_diseases, ds.n_medicines, &self.config.em);
+            builder.add_month(&filtered, &model);
+        }
+        builder.build()
+    }
+
+    /// Stage 2: change detection over every filtered series.
+    pub fn detect_changes(&self, panel: &PrescriptionPanel) -> Vec<SeriesReport> {
+        let keys = panel.filtered_keys(self.config.series_min_total);
+        let threads = if self.config.threads == 0 { default_threads() } else { self.config.threads };
+        parallel_map(&keys, threads, |&key| {
+            let ys = panel.series(key).expect("filtered key must have a series");
+            self.analyze_series(key, ys)
+        })
+    }
+
+    /// Change-point analysis of one series.
+    pub fn analyze_series(&self, key: SeriesKey, ys: &[f64]) -> SeriesReport {
+        let search = self.search(ys);
+        let lambda = if search.change_point.is_some() {
+            search.fit.decompose(ys).lambda
+        } else {
+            0.0
+        };
+        SeriesReport {
+            key,
+            change_point: search.change_point,
+            aic: search.aic,
+            aic_no_change: search.aic_no_change,
+            lambda,
+            fits_performed: search.fits_performed,
+        }
+    }
+
+    fn search(&self, ys: &[f64]) -> ChangePointSearch {
+        if self.config.approximate_search {
+            approx_change_point(ys, self.config.seasonal, &self.config.fit)
+        } else {
+            exact_change_point(ys, self.config.seasonal, &self.config.fit)
+        }
+    }
+
+    /// Run the full pipeline: reproduce, detect, categorise.
+    pub fn run(&self, ds: &ClaimsDataset) -> TrendReport {
+        let panel = self.reproduce_panel(ds);
+        let series = self.detect_changes(&panel);
+        // Index change points for categorisation, and group broken pairs by
+        // medicine for the sibling-support rule.
+        let mut by_key: HashMap<SeriesKey, &SeriesReport> = HashMap::new();
+        let mut broken_pairs_by_medicine: HashMap<u32, Vec<(u32, usize)>> = HashMap::new();
+        for r in &series {
+            by_key.insert(r.key, r);
+            if let (SeriesKey::Prescription(d, m), ChangePoint::At(t)) = (r.key, r.change_point) {
+                broken_pairs_by_medicine.entry(m.0).or_default().push((d.0, t));
+            }
+        }
+        let mut causes = Vec::new();
+        for r in &series {
+            if let (SeriesKey::Prescription(d, m), ChangePoint::At(t)) = (r.key, r.change_point) {
+                let disease_cp =
+                    by_key.get(&SeriesKey::Disease(d)).and_then(|r| r.change_point.month());
+                let medicine_cp =
+                    by_key.get(&SeriesKey::Medicine(m)).and_then(|r| r.change_point.month());
+                let siblings = broken_pairs_by_medicine
+                    .get(&m.0)
+                    .map(|pairs| {
+                        pairs
+                            .iter()
+                            .filter(|&&(dd, tt)| {
+                                dd != d.0
+                                    && (tt as i64 - t as i64).abs() <= crate::classify::MATCH_WINDOW
+                            })
+                            .count()
+                    })
+                    .unwrap_or(0);
+                causes.push((r.key, classify_change(t, disease_cp, medicine_cp, siblings)));
+            }
+        }
+        TrendReport { panel, series, causes }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mic_claims::{Simulator, WorldSpec};
+
+    fn small_ds() -> (mic_claims::World, ClaimsDataset) {
+        let spec = WorldSpec {
+            n_diseases: 10,
+            n_medicines: 14,
+            n_patients: 150,
+            n_hospitals: 4,
+            n_cities: 2,
+            months: 20,
+            n_new_medicines: 1,
+            n_generic_entries: 0,
+            n_indication_expansions: 0,
+            n_price_revisions: 0,
+            n_outbreaks: 0,
+            n_prevalence_shifts: 0,
+            ..WorldSpec::default()
+        };
+        let world = spec.generate();
+        let ds = Simulator::new(&world, 42).run();
+        (world, ds)
+    }
+
+    fn fast_config() -> PipelineConfig {
+        PipelineConfig {
+            seasonal: false, // T = 20 is too short for a 13-state model
+            fit: FitOptions { max_evals: 150, n_starts: 1 },
+            threads: 2,
+            ..Default::default()
+        }
+    }
+
+    #[test]
+    fn pipeline_runs_end_to_end() {
+        let (_world, ds) = small_ds();
+        let pipeline = TrendPipeline::new(fast_config());
+        let report = pipeline.run(&ds);
+        assert!(!report.series.is_empty(), "some series must survive filtering");
+        // Detection rates are valid fractions.
+        let (rd, rm, rp) = report.detection_rates();
+        for r in [rd, rm, rp] {
+            assert!((0.0..=1.0).contains(&r));
+        }
+        // Detected list is sorted by AIC gain.
+        let det = report.detected();
+        for w in det.windows(2) {
+            assert!(w[0].aic_gain() >= w[1].aic_gain());
+        }
+    }
+
+    #[test]
+    fn panel_mass_equals_prescriptions() {
+        let (_world, ds) = small_ds();
+        let pipeline = TrendPipeline::new(fast_config());
+        let panel = pipeline.reproduce_panel(&ds);
+        // Sum of all prescription series ≈ number of prescriptions that
+        // survive frequency filtering.
+        let mut filtered_rx = 0usize;
+        for month in &ds.months {
+            let (f, _) = pipeline
+                .config
+                .frequency_filter
+                .filter_month(month, ds.n_diseases, ds.n_medicines);
+            filtered_rx += f.records.iter().map(|r| r.medicines.len()).sum::<usize>();
+        }
+        let mass: f64 = panel.iter_prescriptions().map(|(_, _, s)| s.iter().sum::<f64>()).sum();
+        assert!(
+            (mass - filtered_rx as f64).abs() < 1e-6 * filtered_rx as f64 + 1e-6,
+            "panel mass {mass} vs filtered prescriptions {filtered_rx}"
+        );
+    }
+
+    #[test]
+    fn exact_and_approx_configs_agree_on_negatives() {
+        let (_world, ds) = small_ds();
+        let exact_cfg = PipelineConfig { approximate_search: false, ..fast_config() };
+        let approx_cfg = PipelineConfig { approximate_search: true, ..fast_config() };
+        let exact = TrendPipeline::new(exact_cfg).run(&ds);
+        let approx = TrendPipeline::new(approx_cfg).run(&ds);
+        assert_eq!(exact.series.len(), approx.series.len());
+        for (e, a) in exact.series.iter().zip(&approx.series) {
+            assert_eq!(e.key, a.key);
+            // No false positives: approx positive ⇒ exact positive.
+            if a.change_point.is_some() {
+                assert!(
+                    e.change_point.is_some(),
+                    "{}: approx found a change the exact search rejected",
+                    a.key
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn report_lookup() {
+        let (_world, ds) = small_ds();
+        let report = TrendPipeline::new(fast_config()).run(&ds);
+        let first_key = report.series[0].key;
+        assert!(report.report_for(first_key).is_some());
+    }
+}

@@ -1,0 +1,280 @@
+//! Rendering of analysis results as fixed-width text tables and CSV.
+//!
+//! The experiment binaries print paper-style tables; this module keeps the
+//! formatting logic in one tested place.
+
+use crate::pipeline::SeriesReport;
+use std::fmt::Write as _;
+
+/// A simple fixed-width text table.
+#[derive(Clone, Debug, Default)]
+pub struct TextTable {
+    header: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl TextTable {
+    pub fn new<S: Into<String>>(header: Vec<S>) -> TextTable {
+        TextTable { header: header.into_iter().map(Into::into).collect(), rows: Vec::new() }
+    }
+
+    pub fn row<S: Into<String>>(&mut self, cells: Vec<S>) -> &mut Self {
+        let cells: Vec<String> = cells.into_iter().map(Into::into).collect();
+        assert_eq!(cells.len(), self.header.len(), "row width must match header");
+        self.rows.push(cells);
+        self
+    }
+
+    pub fn n_rows(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Render with columns padded to their widest cell.
+    pub fn render(&self) -> String {
+        let n_cols = self.header.len();
+        let mut widths: Vec<usize> = self.header.iter().map(|h| h.chars().count()).collect();
+        for row in &self.rows {
+            for (i, cell) in row.iter().enumerate() {
+                widths[i] = widths[i].max(cell.chars().count());
+            }
+        }
+        let mut out = String::new();
+        let render_row = |out: &mut String, cells: &[String]| {
+            for (i, cell) in cells.iter().enumerate() {
+                if i > 0 {
+                    out.push_str("  ");
+                }
+                let pad = widths[i] - cell.chars().count();
+                out.push_str(cell);
+                for _ in 0..pad {
+                    out.push(' ');
+                }
+            }
+            // Trim trailing spaces.
+            while out.ends_with(' ') {
+                out.pop();
+            }
+            out.push('\n');
+        };
+        render_row(&mut out, &self.header);
+        let total: usize = widths.iter().sum::<usize>() + 2 * (n_cols - 1);
+        for _ in 0..total {
+            out.push('-');
+        }
+        out.push('\n');
+        for row in &self.rows {
+            render_row(&mut out, row);
+        }
+        out
+    }
+
+    /// Render as CSV (cells containing commas or quotes are quoted).
+    pub fn to_csv(&self) -> String {
+        let mut out = String::new();
+        let esc = |cell: &str| -> String {
+            if cell.contains(',') || cell.contains('"') || cell.contains('\n') {
+                format!("\"{}\"", cell.replace('"', "\"\""))
+            } else {
+                cell.to_string()
+            }
+        };
+        let write_row = |cells: &[String], out: &mut String| {
+            let line: Vec<String> = cells.iter().map(|c| esc(c)).collect();
+            let _ = writeln!(out, "{}", line.join(","));
+        };
+        write_row(&self.header, &mut out);
+        for row in &self.rows {
+            write_row(row, &mut out);
+        }
+        out
+    }
+}
+
+/// Render the top-`k` detected changes as a table.
+pub fn detected_changes_table(reports: &[&SeriesReport], k: usize) -> TextTable {
+    let mut t = TextTable::new(vec!["series", "change point", "AIC gain", "lambda"]);
+    for r in reports.iter().take(k) {
+        t.row(vec![
+            r.key.to_string(),
+            r.change_point.to_string(),
+            format!("{:.2}", r.aic_gain()),
+            format!("{:.3}", r.lambda),
+        ]);
+    }
+    t
+}
+
+/// Format a float series compactly for console plots ("12.3 14.1 …").
+pub fn series_line(xs: &[f64]) -> String {
+    xs.iter().map(|x| format!("{x:.1}")).collect::<Vec<_>>().join(" ")
+}
+
+/// A crude ASCII sparkline for eyeballing a series in the terminal.
+pub fn sparkline(xs: &[f64]) -> String {
+    const LEVELS: &[char] = &['▁', '▂', '▃', '▄', '▅', '▆', '▇', '█'];
+    if xs.is_empty() {
+        return String::new();
+    }
+    let min = xs.iter().cloned().fold(f64::INFINITY, f64::min);
+    let max = xs.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+    let range = (max - min).max(1e-12);
+    xs.iter()
+        .map(|x| {
+            let idx = (((x - min) / range) * (LEVELS.len() - 1) as f64).round() as usize;
+            LEVELS[idx.min(LEVELS.len() - 1)]
+        })
+        .collect()
+}
+
+/// A multi-row ASCII line chart for terminal output: each series is drawn
+/// with its own glyph on a shared y-scale, with a labelled y-axis. More
+/// readable than a sparkline when comparing components (the Figs. 6–7
+/// panels).
+pub fn ascii_chart(series: &[(&str, &[f64])], height: usize) -> String {
+    assert!(height >= 2, "chart needs at least 2 rows");
+    let width = series.iter().map(|(_, s)| s.len()).max().unwrap_or(0);
+    if width == 0 {
+        return String::new();
+    }
+    let mut min = f64::INFINITY;
+    let mut max = f64::NEG_INFINITY;
+    for (_, s) in series {
+        for &v in *s {
+            min = min.min(v);
+            max = max.max(v);
+        }
+    }
+    let range = (max - min).max(1e-12);
+    const GLYPHS: &[char] = &['*', 'o', '+', 'x', '#', '@'];
+    let mut grid = vec![vec![' '; width]; height];
+    for (si, (_, s)) in series.iter().enumerate() {
+        let glyph = GLYPHS[si % GLYPHS.len()];
+        for (t, &v) in s.iter().enumerate() {
+            let row = ((v - min) / range * (height - 1) as f64).round() as usize;
+            let row = height - 1 - row.min(height - 1);
+            grid[row][t] = glyph;
+        }
+    }
+    let mut out = String::new();
+    for (i, row) in grid.iter().enumerate() {
+        let y = max - range * i as f64 / (height - 1) as f64;
+        let _ = std::fmt::Write::write_fmt(&mut out, format_args!("{y:>10.1} |"));
+        out.extend(row.iter());
+        out.push('\n');
+    }
+    let _ = std::fmt::Write::write_fmt(&mut out, format_args!("{:>10} +", ""));
+    for _ in 0..width {
+        out.push('-');
+    }
+    out.push('\n');
+    // Legend.
+    let legend: Vec<String> = series
+        .iter()
+        .enumerate()
+        .map(|(si, (name, _))| format!("{} {name}", GLYPHS[si % GLYPHS.len()]))
+        .collect();
+    let _ = std::fmt::Write::write_fmt(&mut out, format_args!("{:>12}{}\n", "", legend.join("   ")));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mic_claims::DiseaseId;
+    use mic_linkmodel::SeriesKey;
+    use mic_statespace::ChangePoint;
+
+    #[test]
+    fn table_renders_aligned() {
+        let mut t = TextTable::new(vec!["name", "value"]);
+        t.row(vec!["a", "1"]).row(vec!["long-name", "2.5"]);
+        let s = t.render();
+        let lines: Vec<&str> = s.lines().collect();
+        assert_eq!(lines.len(), 4);
+        assert!(lines[0].starts_with("name"));
+        assert!(lines[1].chars().all(|c| c == '-'));
+        assert!(lines[3].starts_with("long-name  2.5"));
+    }
+
+    #[test]
+    #[should_panic(expected = "row width")]
+    fn mismatched_row_panics() {
+        TextTable::new(vec!["a", "b"]).row(vec!["only-one"]);
+    }
+
+    #[test]
+    fn csv_escapes() {
+        let mut t = TextTable::new(vec!["x", "y"]);
+        t.row(vec!["plain", "has,comma"]).row(vec!["has\"quote", "b"]);
+        let csv = t.to_csv();
+        assert!(csv.contains("\"has,comma\""));
+        assert!(csv.contains("\"has\"\"quote\""));
+        assert_eq!(csv.lines().count(), 3);
+    }
+
+    #[test]
+    fn detected_table_from_reports() {
+        let r = SeriesReport {
+            key: SeriesKey::Disease(DiseaseId(3)),
+            change_point: ChangePoint::At(12),
+            aic: 100.0,
+            aic_no_change: 140.0,
+            lambda: 2.5,
+            fits_performed: 10,
+        };
+        let refs = vec![&r];
+        let t = detected_changes_table(&refs, 5);
+        let s = t.render();
+        assert!(s.contains("disease/D3"));
+        assert!(s.contains("t=12"));
+        assert!(s.contains("40.00"));
+    }
+
+    #[test]
+    fn sparkline_shape() {
+        let s = sparkline(&[0.0, 0.5, 1.0]);
+        assert_eq!(s.chars().count(), 3);
+        assert!(s.starts_with('▁'));
+        assert!(s.ends_with('█'));
+        assert_eq!(sparkline(&[]), "");
+        // Constant series doesn't panic.
+        assert_eq!(sparkline(&[2.0, 2.0]).chars().count(), 2);
+    }
+
+    #[test]
+    fn series_line_format() {
+        assert_eq!(series_line(&[1.0, 2.25]), "1.0 2.2");
+    }
+
+    #[test]
+    fn ascii_chart_layout() {
+        let a = [0.0, 5.0, 10.0];
+        let b = [10.0, 5.0, 0.0];
+        let chart = ascii_chart(&[("up", &a), ("down", &b)], 5);
+        let lines: Vec<&str> = chart.lines().collect();
+        // 5 grid rows + axis + legend.
+        assert_eq!(lines.len(), 7);
+        // Top row holds the max of the up series ('*' at col 2) and of the
+        // down series ('o' at col 0).
+        assert!(lines[0].contains('*'));
+        assert!(lines[0].contains('o'));
+        // y labels descend.
+        assert!(lines[0].trim_start().starts_with("10.0"));
+        assert!(lines[4].trim_start().starts_with("0.0"));
+        // Legend names both series.
+        assert!(lines[6].contains("* up"));
+        assert!(lines[6].contains("o down"));
+    }
+
+    #[test]
+    fn ascii_chart_constant_series() {
+        let a = [3.0, 3.0, 3.0];
+        let chart = ascii_chart(&[("flat", &a)], 3);
+        assert!(chart.contains('*'));
+    }
+
+    #[test]
+    fn ascii_chart_empty() {
+        assert_eq!(ascii_chart(&[("none", &[])], 4), "");
+    }
+}

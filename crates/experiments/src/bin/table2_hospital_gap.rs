@@ -1,0 +1,45 @@
+//! Table II — top-10 diseases for which an antibiotic is prescribed at
+//! small, medium, and large hospitals.
+//!
+//! Expected shape (the paper's stewardship finding): virally-caused cold
+//! syndrome and influenza rank high at small clinics but (nearly) vanish at
+//! large hospitals, whose rankings are dominated by bacterial and chronic
+//! respiratory indications.
+
+use mic_claims::HospitalClass;
+use mic_experiments::output::{emit_table, section};
+use mic_experiments::{simulate, stewardship_world};
+use mic_linkmodel::EmOptions;
+use mic_trend::hospital::{class_panels, top_diseases_for_medicine};
+use mic_trend::report::TextTable;
+
+fn main() {
+    let s = stewardship_world(1200);
+    let ds = simulate(&s.world, 12);
+    let panels = class_panels(&ds, &s.world, &EmOptions::default());
+
+    let mut viral_share = Vec::new();
+    for class in HospitalClass::all() {
+        section(&format!("Table II({class}) — top 10 diseases for the antibiotic"));
+        let rows = top_diseases_for_medicine(&panels[&class], s.antibiotic, 10);
+        let mut table = TextTable::new(vec!["disease", "ratio (%)"]);
+        let mut vshare = 0.0;
+        for r in &rows {
+            let name = &s.world.diseases[r.disease.index()].name;
+            table.row(vec![name.clone(), format!("{:.3}", r.ratio_pct)]);
+            if s.viral.contains(&r.disease) {
+                vshare += r.ratio_pct;
+            }
+        }
+        emit_table(&format!("table2_{class}"), &table);
+        println!("viral-disease share of antibiotic prescriptions: {vshare:.1}%");
+        viral_share.push(vshare);
+    }
+
+    let (small, medium, large) = (viral_share[0], viral_share[1], viral_share[2]);
+    println!();
+    println!(
+        "shape check (viral share small > medium > large): {small:.1}% > {medium:.1}% > {large:.1}% → {}",
+        if small > medium && medium > large { "HOLDS" } else { "VIOLATED" }
+    );
+}

@@ -1,0 +1,77 @@
+//! Table V — computational cost of the exact (Algorithm 1) vs approximate
+//! (Algorithm 2) change-point searches.
+//!
+//! Reports total wall time per series type and the *increase rate* over the
+//! no-intervention fit. The paper's theory: exact ≈ T (= 43) times one fit,
+//! approximate ≈ log₂(T) ≈ 5.4 times; their measurements were ≈ 28–35 and
+//! ≈ 6–7.4 respectively.
+
+use mic_experiments::comparison::{build_evaluation_panel, compare_searches};
+use mic_experiments::output::{emit_table, section};
+use mic_statespace::FitOptions;
+use mic_trend::report::TextTable;
+use std::time::Duration;
+
+fn main() {
+    println!("building evaluation panel (EM over 43 months)...");
+    let eval = build_evaluation_panel(60);
+    let fit = FitOptions { max_evals: 150, n_starts: 1 };
+
+    let groups: Vec<(&str, Vec<mic_linkmodel::SeriesKey>, bool)> = vec![
+        ("disease", eval.diseases.clone(), true),
+        ("medicine", eval.medicines.clone(), true),
+        ("prescription", eval.prescriptions.clone(), true),
+    ];
+
+    let mut table = TextTable::new(vec![
+        "series type",
+        "n series",
+        "exact total (s)",
+        "approx total (s)",
+        "exact rate",
+        "approx rate",
+        "exact fits/series",
+        "approx fits/series",
+    ]);
+    let mut all_rates = Vec::new();
+    for (name, keys, seasonal) in &groups {
+        println!("searching {} {} series (exact + approximate)...", keys.len(), name);
+        let results = compare_searches(&eval, keys, *seasonal, &fit);
+        let sum = |f: &dyn Fn(&mic_experiments::comparison::SearchComparison) -> Duration| {
+            results.iter().map(|r| f(r)).sum::<Duration>()
+        };
+        let exact_total = sum(&|r| r.exact_time);
+        let approx_total = sum(&|r| r.approx_time);
+        let base_total = sum(&|r| r.base_time);
+        let exact_rate = exact_total.as_secs_f64() / base_total.as_secs_f64();
+        let approx_rate = approx_total.as_secs_f64() / base_total.as_secs_f64();
+        let mean_fits = |f: &dyn Fn(&mic_experiments::comparison::SearchComparison) -> usize| {
+            results.iter().map(|r| f(r)).sum::<usize>() as f64 / results.len().max(1) as f64
+        };
+        table.row(vec![
+            name.to_string(),
+            results.len().to_string(),
+            format!("{:.2}", exact_total.as_secs_f64()),
+            format!("{:.2}", approx_total.as_secs_f64()),
+            format!("{exact_rate:.2}"),
+            format!("{approx_rate:.2}"),
+            format!("{:.1}", mean_fits(&|r| r.exact.fits_performed)),
+            format!("{:.1}", mean_fits(&|r| r.approx.fits_performed)),
+        ]);
+        all_rates.push((exact_rate, approx_rate));
+    }
+    section("Table V — computation time and increase rate over the no-intervention fit");
+    emit_table("table5_efficiency", &table);
+
+    println!();
+    println!("theoretical rates for T = 43: exact ≈ 43, approximate ≈ log2(43) ≈ 5.43");
+    let shape = all_rates.iter().all(|&(e, a)| {
+        e > 4.0 * a           // exact is several times costlier
+            && (20.0..70.0).contains(&e)  // near T
+            && (3.0..14.0).contains(&a)   // near log2(T)
+    });
+    println!(
+        "shape check (exact ≈ T×, approx ≈ log₂T× the base fit): {}",
+        if shape { "HOLDS" } else { "VIOLATED" }
+    );
+}

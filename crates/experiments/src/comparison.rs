@@ -1,0 +1,110 @@
+//! Shared machinery for the Table IV/V/VI experiments: reproduce the
+//! evaluation panel once, enumerate its filtered series (with a cap on the
+//! long tail of prescription pairs so a single core finishes in minutes),
+//! and run exact/approximate change-point searches over them.
+
+use crate::scenarios::{evaluation_spec, simulate};
+use mic_claims::ClaimsDataset;
+use mic_linkmodel::{EmOptions, MedicationModel, PanelBuilder, PrescriptionPanel, SeriesKey};
+use mic_statespace::{approx_change_point, exact_change_point, ChangePointSearch, FitOptions};
+use std::time::{Duration, Instant};
+
+/// The reproduced evaluation panel plus the series selected for analysis.
+pub struct EvaluationPanel {
+    pub dataset: ClaimsDataset,
+    pub panel: PrescriptionPanel,
+    /// Selected series keys, grouped: (diseases, medicines, prescriptions).
+    pub diseases: Vec<SeriesKey>,
+    pub medicines: Vec<SeriesKey>,
+    pub prescriptions: Vec<SeriesKey>,
+}
+
+impl EvaluationPanel {
+    /// All selected keys in one list.
+    pub fn all_keys(&self) -> Vec<SeriesKey> {
+        let mut v = self.diseases.clone();
+        v.extend(self.medicines.iter().copied());
+        v.extend(self.prescriptions.iter().copied());
+        v
+    }
+
+    pub fn series(&self, key: SeriesKey) -> &[f64] {
+        self.panel.series(key).expect("selected key has a series")
+    }
+}
+
+/// Build the evaluation panel. `max_prescriptions` caps the prescription-
+/// pair series (taken in deterministic sorted order) so the table
+/// experiments finish on one core; disease and medicine series are never
+/// capped. A cap of 0 means "all".
+pub fn build_evaluation_panel(max_prescriptions: usize) -> EvaluationPanel {
+    let world = evaluation_spec().generate();
+    let dataset = simulate(&world, 13);
+    let em = EmOptions::default();
+    let mut builder = PanelBuilder::new(dataset.n_diseases, dataset.n_medicines, dataset.horizon());
+    for month in &dataset.months {
+        let model = MedicationModel::fit(month, dataset.n_diseases, dataset.n_medicines, &em);
+        builder.add_month(month, &model);
+    }
+    let panel = builder.build();
+    let keys = panel.filtered_keys(10.0);
+    let mut diseases = Vec::new();
+    let mut medicines = Vec::new();
+    let mut prescriptions = Vec::new();
+    for key in keys {
+        match key {
+            SeriesKey::Disease(_) => diseases.push(key),
+            SeriesKey::Medicine(_) => medicines.push(key),
+            SeriesKey::Prescription(..) => prescriptions.push(key),
+        }
+    }
+    if max_prescriptions > 0 && prescriptions.len() > max_prescriptions {
+        // Deterministic thinning: take every k-th pair.
+        let step = prescriptions.len() as f64 / max_prescriptions as f64;
+        prescriptions = (0..max_prescriptions)
+            .map(|i| prescriptions[(i as f64 * step) as usize])
+            .collect();
+    }
+    EvaluationPanel { dataset, panel, diseases, medicines, prescriptions }
+}
+
+/// Exact-vs-approximate search results for one series.
+pub struct SearchComparison {
+    pub key: SeriesKey,
+    pub exact: ChangePointSearch,
+    pub approx: ChangePointSearch,
+    pub exact_time: Duration,
+    pub approx_time: Duration,
+    /// Wall time of a single no-intervention fit (the Table V cost
+    /// baseline).
+    pub base_time: Duration,
+}
+
+/// Run both algorithms over `keys`.
+pub fn compare_searches(
+    eval: &EvaluationPanel,
+    keys: &[SeriesKey],
+    seasonal: bool,
+    fit: &FitOptions,
+) -> Vec<SearchComparison> {
+    keys.iter()
+        .map(|&key| {
+            let ys = eval.series(key);
+            let t0 = Instant::now();
+            let exact = exact_change_point(ys, seasonal, fit);
+            let exact_time = t0.elapsed();
+            let t1 = Instant::now();
+            let approx = approx_change_point(ys, seasonal, fit);
+            let approx_time = t1.elapsed();
+            let t2 = Instant::now();
+            let spec = if seasonal {
+                mic_statespace::StructuralSpec::with_seasonal()
+            } else {
+                mic_statespace::StructuralSpec::local_level()
+            };
+            let _ = mic_statespace::fit_structural(ys, spec, fit);
+            let base_time = t2.elapsed();
+            SearchComparison { key, exact, approx, exact_time, approx_time, base_time }
+        })
+        .collect()
+}

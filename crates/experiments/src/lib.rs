@@ -1,0 +1,13 @@
+//! Shared scenario worlds and output helpers for the experiment binaries.
+//!
+//! Every table and figure of the paper's evaluation has a binary in
+//! `src/bin/` that regenerates it on synthetic data; the scenario worlds
+//! here plant exactly the phenomena each experiment measures (see DESIGN.md
+//! §4 for the experiment index).
+
+pub mod comparison;
+pub mod output;
+pub mod scenarios;
+
+pub use output::{emit_table, section};
+pub use scenarios::*;

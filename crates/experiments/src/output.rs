@@ -1,0 +1,41 @@
+//! Console + CSV output helpers for the experiment binaries.
+
+use mic_trend::report::TextTable;
+use std::fs;
+use std::path::Path;
+
+/// Print a section banner.
+pub fn section(title: &str) {
+    println!();
+    println!("== {title} ==");
+}
+
+/// Print a table and mirror it to `results/<name>.csv` (best-effort; the
+/// console output is the primary artefact).
+pub fn emit_table(name: &str, table: &TextTable) {
+    println!("{}", table.render());
+    let dir = Path::new("results");
+    if fs::create_dir_all(dir).is_ok() {
+        let _ = fs::write(dir.join(format!("{name}.csv")), table.to_csv());
+    }
+}
+
+/// Render a series next to an ASCII sparkline with a label.
+pub fn print_series(label: &str, xs: &[f64]) {
+    println!("{label:<28} {}", mic_trend::report::sparkline(xs));
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn emit_writes_csv() {
+        let mut t = TextTable::new(vec!["a"]);
+        t.row(vec!["1"]);
+        emit_table("unit-test-table", &t);
+        let content = std::fs::read_to_string("results/unit-test-table.csv").unwrap();
+        assert!(content.starts_with("a"));
+        let _ = std::fs::remove_file("results/unit-test-table.csv");
+    }
+}

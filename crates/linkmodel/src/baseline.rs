@@ -1,0 +1,215 @@
+//! Baseline predictors from the Table III evaluation.
+//!
+//! - [`UnigramModel`]: a single medicine-frequency distribution ignoring
+//!   diseases entirely (Song & Croft-style unigram LM);
+//! - [`CooccurrenceModel`]: the paper's Eq. 10 — `φ_dm` proportional to the
+//!   within-record cooccurrence counts of disease `d` and medicine `m`. This
+//!   is the straightforward approach whose mis-prediction problem (Fig. 2a)
+//!   motivates the latent model.
+//!
+//! Both use the same additive smoothing as the proposed model so perplexity
+//! comparisons are apples-to-apples.
+
+use mic_claims::{DiseaseId, MedicineId, MonthlyDataset};
+use std::collections::HashMap;
+
+/// Disease-agnostic unigram distribution over medicines.
+#[derive(Clone, Debug)]
+pub struct UnigramModel {
+    counts: Vec<f64>,
+    total: f64,
+    smoothing: f64,
+}
+
+impl UnigramModel {
+    pub fn fit(month: &MonthlyDataset, n_medicines: usize, smoothing: f64) -> UnigramModel {
+        let mut counts = vec![0.0; n_medicines];
+        let mut total = 0.0;
+        for r in &month.records {
+            for &m in &r.medicines {
+                counts[m.index()] += 1.0;
+                total += 1.0;
+            }
+        }
+        UnigramModel { counts, total, smoothing }
+    }
+
+    /// Smoothed `P(m)`.
+    pub fn prob(&self, m: MedicineId) -> f64 {
+        (self.counts[m.index()] + self.smoothing)
+            / (self.total + self.smoothing * self.counts.len() as f64)
+    }
+}
+
+/// Eq. 10: `φ_dm ∝ Σ_r Cooc_r(d, m)` with
+/// `Cooc_r(d, m) = N_rd · (# prescriptions of m in r)`.
+#[derive(Clone, Debug)]
+pub struct CooccurrenceModel {
+    n_medicines: usize,
+    smoothing: f64,
+    rows: Vec<HashMap<u32, f64>>,
+    row_totals: Vec<f64>,
+}
+
+impl CooccurrenceModel {
+    pub fn fit(
+        month: &MonthlyDataset,
+        n_diseases: usize,
+        n_medicines: usize,
+        smoothing: f64,
+    ) -> CooccurrenceModel {
+        let mut rows: Vec<HashMap<u32, f64>> = vec![HashMap::new(); n_diseases];
+        let mut row_totals = vec![0.0; n_diseases];
+        for r in &month.records {
+            // Count each medicine's multiplicity once per record.
+            let mut med_counts: HashMap<u32, f64> = HashMap::new();
+            for &m in &r.medicines {
+                *med_counts.entry(m.0).or_insert(0.0) += 1.0;
+            }
+            for &(d, n_rd) in &r.diseases {
+                for (&m, &c) in &med_counts {
+                    let cooc = n_rd as f64 * c;
+                    *rows[d.index()].entry(m).or_insert(0.0) += cooc;
+                    row_totals[d.index()] += cooc;
+                }
+            }
+        }
+        CooccurrenceModel { n_medicines, smoothing, rows, row_totals }
+    }
+
+    /// Smoothed `φ_dm` from cooccurrence counts.
+    pub fn phi_prob(&self, d: DiseaseId, m: MedicineId) -> f64 {
+        let raw = self.rows[d.index()].get(&m.0).copied().unwrap_or(0.0);
+        (raw + self.smoothing)
+            / (self.row_totals[d.index()] + self.smoothing * self.n_medicines as f64)
+    }
+
+    /// Mixture probability `P(m | r) = Σ_d θ_rd φ_dm` with the same `θ` as
+    /// the proposed model (Eq. 2).
+    pub fn record_medicine_prob(&self, diseases: &[(DiseaseId, u32)], m: MedicineId) -> f64 {
+        let n_r: u32 = diseases.iter().map(|&(_, n)| n).sum();
+        if n_r == 0 {
+            return 0.0;
+        }
+        let n_r = n_r as f64;
+        diseases.iter().map(|&(d, n_rd)| (n_rd as f64 / n_r) * self.phi_prob(d, m)).sum()
+    }
+
+    /// Cooccurrence-based "prescription count" of pair `(d, m)` in a month:
+    /// the number of prescriptions of `m` in records that also mention `d`.
+    /// This is the naive series the paper plots in Fig. 2a.
+    pub fn cooccurrence_count(month: &MonthlyDataset, d: DiseaseId, m: MedicineId) -> f64 {
+        let mut count = 0.0;
+        for r in &month.records {
+            if r.disease_count(d) > 0 {
+                count += r.medicines.iter().filter(|&&mm| mm == m).count() as f64;
+            }
+        }
+        count
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mic_claims::{HospitalId, MicRecord, Month, PatientId};
+
+    fn record(diseases: Vec<(u32, u32)>, meds: Vec<u32>) -> MicRecord {
+        let truth = vec![DiseaseId(diseases[0].0); meds.len()];
+        MicRecord {
+            patient: PatientId(0),
+            hospital: HospitalId(0),
+            diseases: diseases.into_iter().map(|(d, n)| (DiseaseId(d), n)).collect(),
+            medicines: meds.into_iter().map(MedicineId).collect(),
+            truth_links: truth,
+        }
+    }
+
+    #[test]
+    fn unigram_matches_frequencies() {
+        let month = MonthlyDataset {
+            month: Month(0),
+            records: vec![record(vec![(0, 1)], vec![0, 0, 1])],
+        };
+        let u = UnigramModel::fit(&month, 2, 0.0);
+        assert!((u.prob(MedicineId(0)) - 2.0 / 3.0).abs() < 1e-12);
+        assert!((u.prob(MedicineId(1)) - 1.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn unigram_smoothing_keeps_unseen_positive() {
+        let month = MonthlyDataset { month: Month(0), records: vec![record(vec![(0, 1)], vec![0])] };
+        let u = UnigramModel::fit(&month, 3, 0.01);
+        assert!(u.prob(MedicineId(2)) > 0.0);
+        let total: f64 = (0..3).map(|m| u.prob(MedicineId(m))).sum();
+        assert!((total - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn cooccurrence_counts_weighted_by_diagnoses() {
+        // Record: disease 0 twice, disease 1 once; medicine 0 three times.
+        let month = MonthlyDataset {
+            month: Month(0),
+            records: vec![record(vec![(0, 2), (1, 1)], vec![0, 0, 0])],
+        };
+        let c = CooccurrenceModel::fit(&month, 2, 1, 0.0);
+        // Cooc(0, 0) = 2*3 = 6; Cooc(1, 0) = 1*3 = 3. Rows normalise to 1.
+        assert!((c.phi_prob(DiseaseId(0), MedicineId(0)) - 1.0).abs() < 1e-12);
+        assert!((c.phi_prob(DiseaseId(1), MedicineId(0)) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn cooccurrence_cannot_disambiguate() {
+        // The Fig. 2 situation (same data as the EM disambiguation test):
+        // cooccurrence attributes B's frequent medicine to A as well.
+        let mut records = Vec::new();
+        for _ in 0..30 {
+            records.push(record(vec![(0, 1), (1, 1)], vec![0, 1, 1, 1]));
+        }
+        for _ in 0..30 {
+            records.push(record(vec![(1, 1)], vec![1, 1, 1]));
+        }
+        let month = MonthlyDataset { month: Month(0), records };
+        let c = CooccurrenceModel::fit(&month, 2, 2, 1e-3);
+        // φ_{A, med1} = 90/120 > φ_{A, med0} = 30/120: the mis-prediction.
+        assert!(
+            c.phi_prob(DiseaseId(0), MedicineId(1)) > c.phi_prob(DiseaseId(0), MedicineId(0)),
+            "cooccurrence should be fooled here"
+        );
+    }
+
+    #[test]
+    fn cooccurrence_count_series_value() {
+        let month = MonthlyDataset {
+            month: Month(0),
+            records: vec![
+                record(vec![(0, 1)], vec![1, 1]),
+                record(vec![(1, 1)], vec![1]),
+                record(vec![(0, 1), (1, 1)], vec![1]),
+            ],
+        };
+        // Records mentioning disease 0: first (2 of med 1) and third (1).
+        assert_eq!(
+            CooccurrenceModel::cooccurrence_count(&month, DiseaseId(0), MedicineId(1)),
+            3.0
+        );
+        assert_eq!(
+            CooccurrenceModel::cooccurrence_count(&month, DiseaseId(1), MedicineId(1)),
+            2.0
+        );
+    }
+
+    #[test]
+    fn mixture_prob_uses_theta() {
+        let month = MonthlyDataset {
+            month: Month(0),
+            records: vec![record(vec![(0, 1)], vec![0]), record(vec![(1, 1)], vec![1])],
+        };
+        let c = CooccurrenceModel::fit(&month, 2, 2, 1e-3);
+        let bag = vec![(DiseaseId(0), 3), (DiseaseId(1), 1)];
+        let p = c.record_medicine_prob(&bag, MedicineId(0));
+        let expected = 0.75 * c.phi_prob(DiseaseId(0), MedicineId(0))
+            + 0.25 * c.phi_prob(DiseaseId(1), MedicineId(0));
+        assert!((p - expected).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,160 @@
+//! Prescription-relevance ranking evaluation (paper Section VIII-A2).
+//!
+//! For each of the top-N most frequent diseases, medicines are ranked by
+//! their total reproduced prescription count `x_dm = Σ_t x_dmt` and the
+//! ranking is scored with AP@10 and NDCG@10 against ground-truth relevance.
+//! The paper's ground truth came from package inserts judged by an author
+//! and a medical professional; ours comes from the world's indication links
+//! (`World::relevant`), which encode exactly the package-insert criterion.
+
+use mic_claims::{DiseaseId, MedicineId};
+use mic_stats::ranking::{average_precision_at_k, ndcg_at_k_binary};
+use mic_stats::Summary;
+use std::collections::HashMap;
+
+/// Scores for one disease's medicine ranking.
+#[derive(Clone, Copy, Debug)]
+pub struct DiseaseRankingScore {
+    pub disease: DiseaseId,
+    pub ap: f64,
+    pub ndcg: f64,
+}
+
+/// Result of a relevance evaluation over many diseases.
+#[derive(Clone, Debug)]
+pub struct RankingEvaluation {
+    pub k: usize,
+    pub per_disease: Vec<DiseaseRankingScore>,
+}
+
+impl RankingEvaluation {
+    pub fn ap_scores(&self) -> Vec<f64> {
+        self.per_disease.iter().map(|s| s.ap).collect()
+    }
+
+    pub fn ndcg_scores(&self) -> Vec<f64> {
+        self.per_disease.iter().map(|s| s.ndcg).collect()
+    }
+
+    pub fn ap_summary(&self) -> Summary {
+        Summary::of(&self.ap_scores())
+    }
+
+    pub fn ndcg_summary(&self) -> Summary {
+        Summary::of(&self.ndcg_scores())
+    }
+}
+
+/// Evaluate medicine rankings for the given diseases at cutoff `k`.
+///
+/// * `pair_totals` — total prescription mass per `(disease, medicine)` pair
+///   (from [`crate::reproduce::PrescriptionPanel::pair_totals`] or a
+///   cooccurrence equivalent);
+/// * `diseases` — the diseases to rank for (typically
+///   `panel.top_diseases(100)`);
+/// * `n_medicines` — medicine catalogue size (for the relevant-total count);
+/// * `relevant` — ground-truth relevance oracle.
+pub fn evaluate_prescription_relevance(
+    pair_totals: &HashMap<(u32, u32), f64>,
+    diseases: &[DiseaseId],
+    n_medicines: usize,
+    k: usize,
+    relevant: impl Fn(DiseaseId, MedicineId) -> bool,
+) -> RankingEvaluation {
+    let mut per_disease = Vec::with_capacity(diseases.len());
+    for &d in diseases {
+        // Collect this disease's ranked medicines.
+        let mut ranked: Vec<(MedicineId, f64)> = pair_totals
+            .iter()
+            .filter(|&(&(dd, _), _)| dd == d.0)
+            .map(|(&(_, m), &total)| (MedicineId(m), total))
+            .collect();
+        ranked.sort_by(|a, b| {
+            b.1.partial_cmp(&a.1).expect("NaN total").then_with(|| a.0 .0.cmp(&b.0 .0))
+        });
+        let labels: Vec<bool> = ranked.iter().map(|&(m, _)| relevant(d, m)).collect();
+        // Total relevant among the whole catalogue (the ideal ranking could
+        // surface any indicated medicine).
+        let total_relevant =
+            (0..n_medicines).filter(|&m| relevant(d, MedicineId(m as u32))).count();
+        per_disease.push(DiseaseRankingScore {
+            disease: d,
+            ap: average_precision_at_k(&labels, k, total_relevant),
+            ndcg: ndcg_at_k_binary(&labels, k, total_relevant),
+        });
+    }
+    RankingEvaluation { k, per_disease }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn totals(entries: &[((u32, u32), f64)]) -> HashMap<(u32, u32), f64> {
+        entries.iter().copied().collect()
+    }
+
+    #[test]
+    fn perfect_ranking_scores_one() {
+        // Disease 0: medicines 0, 1 relevant and top-ranked; 2 irrelevant.
+        let t = totals(&[((0, 0), 10.0), ((0, 1), 5.0), ((0, 2), 1.0)]);
+        let eval = evaluate_prescription_relevance(&t, &[DiseaseId(0)], 3, 10, |_, m| m.0 < 2);
+        assert_eq!(eval.per_disease.len(), 1);
+        assert!((eval.per_disease[0].ap - 1.0).abs() < 1e-12);
+        assert!((eval.per_disease[0].ndcg - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn inverted_ranking_scores_lower() {
+        // Irrelevant medicine ranked first.
+        let t = totals(&[((0, 2), 10.0), ((0, 0), 5.0), ((0, 1), 1.0)]);
+        let eval = evaluate_prescription_relevance(&t, &[DiseaseId(0)], 3, 10, |_, m| m.0 < 2);
+        assert!(eval.per_disease[0].ap < 1.0);
+        assert!(eval.per_disease[0].ndcg < 1.0);
+        assert!(eval.per_disease[0].ap > 0.0);
+    }
+
+    #[test]
+    fn missing_relevant_medicine_caps_ap() {
+        // Only 1 of 2 relevant medicines has any prescriptions.
+        let t = totals(&[((0, 0), 10.0)]);
+        let eval = evaluate_prescription_relevance(&t, &[DiseaseId(0)], 3, 10, |_, m| m.0 < 2);
+        // AP = (1/1) / min(10, 2) = 0.5.
+        assert!((eval.per_disease[0].ap - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn ties_break_deterministically() {
+        let t = totals(&[((0, 5), 1.0), ((0, 3), 1.0), ((0, 4), 1.0)]);
+        let a = evaluate_prescription_relevance(&t, &[DiseaseId(0)], 6, 10, |_, m| m.0 == 3);
+        let b = evaluate_prescription_relevance(&t, &[DiseaseId(0)], 6, 10, |_, m| m.0 == 3);
+        assert_eq!(a.per_disease[0].ap, b.per_disease[0].ap);
+        // Lowest id first among ties → medicine 3 at rank 1 → AP = 1.
+        assert!((a.per_disease[0].ap - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn summaries_aggregate() {
+        let t = totals(&[((0, 0), 3.0), ((1, 1), 3.0)]);
+        let eval = evaluate_prescription_relevance(
+            &t,
+            &[DiseaseId(0), DiseaseId(1)],
+            2,
+            10,
+            |d, m| d.0 == m.0,
+        );
+        let s = eval.ap_summary();
+        assert_eq!(s.n, 2);
+        assert!((s.mean - 1.0).abs() < 1e-12);
+        assert_eq!(eval.ap_scores().len(), 2);
+        assert_eq!(eval.ndcg_scores().len(), 2);
+    }
+
+    #[test]
+    fn disease_with_no_prescriptions_scores_zero() {
+        let t = totals(&[]);
+        let eval = evaluate_prescription_relevance(&t, &[DiseaseId(7)], 3, 10, |_, _| true);
+        assert_eq!(eval.per_disease[0].ap, 0.0);
+        assert_eq!(eval.per_disease[0].ndcg, 0.0);
+    }
+}

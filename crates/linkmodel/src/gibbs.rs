@@ -1,0 +1,303 @@
+//! Collapsed Gibbs sampling for the medication model — a Bayesian
+//! alternative to the EM point estimate.
+//!
+//! Model: `φ_d ~ Dirichlet(β)`, `z_rl ~ Multinomial(θ_r)` with the paper's
+//! fixed `θ_rd = N_rd / N_r`, `m_rl ~ Multinomial(φ_{z_rl})`. Collapsing
+//! `Φ` gives the single-site conditional
+//!
+//! ```text
+//! P(z_rl = d | z_{−rl}, m) ∝ θ_rd · (c^{−rl}_{d,m_rl} + β) / (c^{−rl}_d + β·M)
+//! ```
+//!
+//! where `c_{d,m}` counts current assignments of medicine `m` to disease
+//! `d`. The posterior mean of `φ` is estimated by averaging the smoothed
+//! count ratios over post-burn-in samples. EM and Gibbs must agree on
+//! well-identified data — a useful cross-validation of both
+//! implementations — while the Gibbs posterior additionally reflects
+//! uncertainty on sparse data.
+
+use mic_claims::{DiseaseId, MedicineId, MonthlyDataset};
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+use std::collections::HashMap;
+
+/// Sampler configuration.
+#[derive(Clone, Copy, Debug)]
+pub struct GibbsOptions {
+    /// Discarded warm-up sweeps.
+    pub burn_in: usize,
+    /// Post-burn-in samples averaged into the φ estimate.
+    pub samples: usize,
+    /// Sweeps between retained samples.
+    pub thin: usize,
+    /// Dirichlet smoothing β.
+    pub beta: f64,
+    pub seed: u64,
+}
+
+impl Default for GibbsOptions {
+    fn default() -> Self {
+        GibbsOptions { burn_in: 30, samples: 20, thin: 2, beta: 0.01, seed: 5 }
+    }
+}
+
+/// Posterior-mean medication model from collapsed Gibbs sampling.
+#[derive(Clone, Debug)]
+pub struct GibbsMedicationModel {
+    n_medicines: usize,
+    beta: f64,
+    /// Averaged smoothed φ rows: disease → medicine → posterior-mean prob.
+    phi_mean: Vec<HashMap<u32, f64>>,
+    /// Residual probability mass per row for unseen medicines.
+    background: Vec<f64>,
+}
+
+impl GibbsMedicationModel {
+    /// Posterior-mean `φ_dm`.
+    pub fn phi_prob(&self, d: DiseaseId, m: MedicineId) -> f64 {
+        self.phi_mean[d.index()]
+            .get(&m.0)
+            .copied()
+            .unwrap_or(self.background[d.index()])
+    }
+
+    /// Mixture probability `P(m | r)` with the paper's `θ` (Eq. 2).
+    pub fn record_medicine_prob(&self, diseases: &[(DiseaseId, u32)], m: MedicineId) -> f64 {
+        let n_r: u32 = diseases.iter().map(|&(_, n)| n).sum();
+        if n_r == 0 {
+            return 0.0;
+        }
+        let n_r = n_r as f64;
+        diseases.iter().map(|&(d, n_rd)| (n_rd as f64 / n_r) * self.phi_prob(d, m)).sum()
+    }
+
+    pub fn n_medicines(&self) -> usize {
+        self.n_medicines
+    }
+
+    /// Smoothing parameter the model was trained with.
+    pub fn beta(&self) -> f64 {
+        self.beta
+    }
+}
+
+impl crate::predict::MedicinePredictor for GibbsMedicationModel {
+    fn medicine_prob(&self, diseases: &[(DiseaseId, u32)], m: MedicineId) -> f64 {
+        self.record_medicine_prob(diseases, m)
+    }
+}
+
+/// Fit by collapsed Gibbs sampling.
+pub fn fit_gibbs(
+    month: &MonthlyDataset,
+    n_diseases: usize,
+    n_medicines: usize,
+    opts: &GibbsOptions,
+) -> GibbsMedicationModel {
+    assert!(n_diseases > 0 && n_medicines > 0, "empty vocabulary");
+    assert!(opts.samples > 0, "need at least one retained sample");
+    let mut rng = SmallRng::seed_from_u64(opts.seed);
+    let beta = opts.beta;
+    let beta_m = beta * n_medicines as f64;
+
+    // Flatten prescriptions: (record idx, medicine, θ weights over the
+    // record's diseases).
+    struct Site {
+        record: usize,
+        medicine: u32,
+        z: usize, // index into the record's disease list
+    }
+    let mut sites: Vec<Site> = Vec::new();
+    // Per-record disease lists and θ weights.
+    let record_diseases: Vec<Vec<(u32, f64)>> = month
+        .records
+        .iter()
+        .map(|r| {
+            let n_r: u32 = r.diseases.iter().map(|&(_, n)| n).sum();
+            r.diseases
+                .iter()
+                .map(|&(d, n)| (d.0, n as f64 / n_r.max(1) as f64))
+                .collect()
+        })
+        .collect();
+
+    // Assignment counts.
+    let mut pair_counts: HashMap<(u32, u32), f64> = HashMap::new();
+    let mut disease_totals: Vec<f64> = vec![0.0; n_diseases];
+
+    // Initialise assignments ∝ θ.
+    for (ri, r) in month.records.iter().enumerate() {
+        let weights: Vec<f64> = record_diseases[ri].iter().map(|&(_, w)| w).collect();
+        if weights.is_empty() {
+            continue;
+        }
+        for &m in &r.medicines {
+            let z = mic_stats::dist::sample_categorical(&mut rng, &weights);
+            let d = record_diseases[ri][z].0;
+            *pair_counts.entry((d, m.0)).or_insert(0.0) += 1.0;
+            disease_totals[d as usize] += 1.0;
+            sites.push(Site { record: ri, medicine: m.0, z });
+        }
+    }
+
+    // Accumulators for the posterior mean of φ.
+    let mut phi_acc: Vec<HashMap<u32, f64>> = vec![HashMap::new(); n_diseases];
+    let mut background_acc = vec![0.0; n_diseases];
+    let mut retained = 0usize;
+
+    let total_sweeps = opts.burn_in + opts.samples * opts.thin.max(1);
+    let mut probs: Vec<f64> = Vec::new();
+    for sweep in 0..total_sweeps {
+        for site in &mut sites {
+            let ds = &record_diseases[site.record];
+            if ds.len() == 1 {
+                continue; // single-disease records are pinned
+            }
+            // Remove the site's current assignment.
+            let cur_d = ds[site.z].0;
+            *pair_counts.get_mut(&(cur_d, site.medicine)).expect("assigned") -= 1.0;
+            disease_totals[cur_d as usize] -= 1.0;
+            // Sample a new assignment.
+            probs.clear();
+            for &(d, theta) in ds {
+                let c_dm = pair_counts.get(&(d, site.medicine)).copied().unwrap_or(0.0);
+                let c_d = disease_totals[d as usize];
+                probs.push(theta * (c_dm + beta) / (c_d + beta_m));
+            }
+            let z = mic_stats::dist::sample_categorical(&mut rng, &probs);
+            site.z = z;
+            let new_d = ds[z].0;
+            *pair_counts.entry((new_d, site.medicine)).or_insert(0.0) += 1.0;
+            disease_totals[new_d as usize] += 1.0;
+        }
+        // Retain a sample?
+        if sweep >= opts.burn_in && (sweep - opts.burn_in) % opts.thin.max(1) == 0 {
+            retained += 1;
+            for (&(d, m), &c) in &pair_counts {
+                if c > 0.0 {
+                    let p = (c + beta) / (disease_totals[d as usize] + beta_m);
+                    *phi_acc[d as usize].entry(m).or_insert(0.0) += p;
+                }
+            }
+            for d in 0..n_diseases {
+                background_acc[d] += beta / (disease_totals[d] + beta_m);
+            }
+        }
+    }
+    let retained = retained.max(1) as f64;
+    // Seen medicines average their sampled probability; unseen ones get the
+    // averaged background mass. (A medicine seen in only some samples also
+    // picks up background mass for the rest.)
+    let mut phi_mean: Vec<HashMap<u32, f64>> = vec![HashMap::new(); n_diseases];
+    let background: Vec<f64> =
+        background_acc.iter().map(|&b| b / retained).collect();
+    for (d, row) in phi_acc.into_iter().enumerate() {
+        for (m, acc) in row {
+            // Samples where the pair had zero count contributed no term; add
+            // the background for those samples so rows stay ~normalised.
+            let seen_share = acc / retained;
+            phi_mean[d].insert(m, seen_share.max(background[d]));
+        }
+    }
+    GibbsMedicationModel { n_medicines, beta, phi_mean, background }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::{EmOptions, MedicationModel};
+    use mic_claims::{HospitalId, MicRecord, Month, PatientId};
+
+    fn record(diseases: Vec<(u32, u32)>, meds: Vec<u32>) -> MicRecord {
+        let truth = vec![DiseaseId(diseases[0].0); meds.len()];
+        MicRecord {
+            patient: PatientId(0),
+            hospital: HospitalId(0),
+            diseases: diseases.into_iter().map(|(d, n)| (DiseaseId(d), n)).collect(),
+            medicines: meds.into_iter().map(MedicineId).collect(),
+            truth_links: truth,
+        }
+    }
+
+    fn confounded_month() -> MonthlyDataset {
+        let mut records = Vec::new();
+        for _ in 0..30 {
+            records.push(record(vec![(0, 1), (1, 1)], vec![0, 1, 1, 1]));
+        }
+        for _ in 0..30 {
+            records.push(record(vec![(1, 1)], vec![1, 1, 1]));
+        }
+        for _ in 0..10 {
+            records.push(record(vec![(0, 1)], vec![0]));
+        }
+        MonthlyDataset { month: Month(0), records }
+    }
+
+    #[test]
+    fn gibbs_disambiguates_like_em() {
+        let month = confounded_month();
+        let gibbs = fit_gibbs(&month, 2, 2, &GibbsOptions::default());
+        let em = MedicationModel::fit(&month, 2, 2, &EmOptions::default());
+        // Both engines must push medicine 1 to disease 1 and keep medicine 0
+        // with disease 0.
+        assert!(gibbs.phi_prob(DiseaseId(0), MedicineId(0)) > 0.5,
+            "gibbs φ(0,0) = {}", gibbs.phi_prob(DiseaseId(0), MedicineId(0)));
+        assert!(gibbs.phi_prob(DiseaseId(1), MedicineId(1)) > 0.9);
+        // Agreement with EM within loose tolerance.
+        for d in 0..2 {
+            for m in 0..2 {
+                let g = gibbs.phi_prob(DiseaseId(d), MedicineId(m));
+                let e = em.phi_prob(DiseaseId(d), MedicineId(m));
+                assert!(
+                    (g - e).abs() < 0.25,
+                    "φ({d},{m}): gibbs {g:.3} vs em {e:.3}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn gibbs_is_deterministic_given_seed() {
+        let month = confounded_month();
+        let a = fit_gibbs(&month, 2, 2, &GibbsOptions::default());
+        let b = fit_gibbs(&month, 2, 2, &GibbsOptions::default());
+        assert_eq!(
+            a.phi_prob(DiseaseId(0), MedicineId(0)),
+            b.phi_prob(DiseaseId(0), MedicineId(0))
+        );
+        let c = fit_gibbs(&month, 2, 2, &GibbsOptions { seed: 99, ..Default::default() });
+        // A different seed may (slightly) differ — just ensure it's sane.
+        assert!(c.phi_prob(DiseaseId(1), MedicineId(1)) > 0.8);
+    }
+
+    #[test]
+    fn gibbs_probabilities_are_valid() {
+        let month = confounded_month();
+        let gibbs = fit_gibbs(&month, 2, 2, &GibbsOptions::default());
+        for d in 0..2 {
+            let total: f64 =
+                (0..2).map(|m| gibbs.phi_prob(DiseaseId(d), MedicineId(m))).sum();
+            assert!(total > 0.5 && total < 1.5, "row {d} mass {total}");
+            for m in 0..2 {
+                let p = gibbs.phi_prob(DiseaseId(d), MedicineId(m));
+                assert!(p > 0.0 && p <= 1.0);
+            }
+        }
+        // Mixture prob usable for perplexity.
+        let bag = vec![(DiseaseId(0), 1), (DiseaseId(1), 1)];
+        let p = gibbs.record_medicine_prob(&bag, MedicineId(1));
+        assert!(p > 0.0 && p < 1.0);
+    }
+
+    #[test]
+    fn unseen_medicine_gets_background_mass() {
+        let month = MonthlyDataset {
+            month: Month(0),
+            records: vec![record(vec![(0, 1)], vec![0])],
+        };
+        let gibbs = fit_gibbs(&month, 1, 3, &GibbsOptions::default());
+        let unseen = gibbs.phi_prob(DiseaseId(0), MedicineId(2));
+        assert!(unseen > 0.0, "unseen medicines must keep positive probability");
+        assert!(unseen < gibbs.phi_prob(DiseaseId(0), MedicineId(0)));
+    }
+}

@@ -1,0 +1,513 @@
+//! The latent-variable medication model (paper Section IV).
+//!
+//! Generative story per MIC record `r`:
+//!
+//! 1. diseases `d_rn ~ Multinomial(η)` (diagnosis);
+//! 2. latent medication targets `z_rl ~ Multinomial(θ_r)` with
+//!    `θ_rd = N_rd / N_r` (Eq. 2 — selection proportional to within-record
+//!    diagnosis counts, and zero for diseases absent from the record);
+//! 3. medicines `m_rl ~ Multinomial(φ_{z_rl})`.
+//!
+//! `η` has the closed form of Eq. 4. `Φ` is estimated by EM: the E step
+//! computes responsibilities `q_rld ∝ θ_rd · φ_{d,m_rl}` (Eq. 6), the M step
+//! re-estimates `φ_dm` from expected counts (Eq. 5). A small additive
+//! (Dirichlet-MAP) smoothing keeps held-out probabilities finite, applied
+//! identically to the baselines so the Table III comparison stays fair.
+
+use mic_claims::{DiseaseId, MedicineId, MonthlyDataset};
+use std::collections::HashMap;
+
+/// EM hyperparameters.
+#[derive(Clone, Copy, Debug)]
+pub struct EmOptions {
+    /// Maximum EM iterations.
+    pub max_iters: usize,
+    /// Relative log-likelihood improvement below which EM stops.
+    pub tol: f64,
+    /// Additive smoothing pseudo-count per (disease, medicine) cell.
+    pub smoothing: f64,
+}
+
+impl Default for EmOptions {
+    fn default() -> Self {
+        EmOptions { max_iters: 100, tol: 1e-7, smoothing: 1e-3 }
+    }
+}
+
+/// Sparse disease-conditional medicine distribution: row `d` maps medicine →
+/// expected count; probabilities are read through the smoothed transform
+/// `φ_dm = (count + s) / (total + s·M)`.
+#[derive(Clone, Debug)]
+struct PhiRow {
+    counts: HashMap<u32, f64>,
+    total: f64,
+}
+
+impl PhiRow {
+    fn empty() -> PhiRow {
+        PhiRow { counts: HashMap::new(), total: 0.0 }
+    }
+
+    #[inline]
+    fn prob(&self, m: MedicineId, smoothing: f64, n_medicines: usize) -> f64 {
+        let raw = self.counts.get(&m.0).copied().unwrap_or(0.0);
+        (raw + smoothing) / (self.total + smoothing * n_medicines as f64)
+    }
+}
+
+/// The fitted medication model for one monthly dataset.
+#[derive(Clone, Debug)]
+pub struct MedicationModel {
+    n_diseases: usize,
+    n_medicines: usize,
+    smoothing: f64,
+    /// Disease diagnosis distribution `η` (Eq. 4), dense.
+    eta: Vec<f64>,
+    /// Sparse `Φ` rows indexed by disease.
+    phi: Vec<PhiRow>,
+    /// Final training log-likelihood.
+    pub log_likelihood: f64,
+    /// EM iterations actually run.
+    pub iterations: usize,
+}
+
+impl MedicationModel {
+    /// Fit the model to one monthly dataset with EM.
+    pub fn fit(month: &MonthlyDataset, n_diseases: usize, n_medicines: usize, opts: &EmOptions) -> MedicationModel {
+        assert!(n_diseases > 0 && n_medicines > 0, "empty vocabulary");
+        // η from Eq. 4: normalised diagnosis counts.
+        let df = month.disease_frequencies(n_diseases);
+        let total_diag: u64 = df.iter().sum();
+        let eta: Vec<f64> = if total_diag == 0 {
+            vec![1.0 / n_diseases as f64; n_diseases]
+        } else {
+            df.iter().map(|&f| f as f64 / total_diag as f64).collect()
+        };
+
+        // Initialise Φ from within-record cooccurrence (Eq. 10 shape):
+        // a reasonable, deterministic EM start.
+        let mut phi: Vec<PhiRow> = (0..n_diseases).map(|_| PhiRow::empty()).collect();
+        for r in &month.records {
+            let n_r = r.total_diagnoses() as f64;
+            if n_r == 0.0 {
+                continue;
+            }
+            for &(d, n_rd) in &r.diseases {
+                let w = n_rd as f64 / n_r;
+                let row = &mut phi[d.index()];
+                for &m in &r.medicines {
+                    *row.counts.entry(m.0).or_insert(0.0) += w;
+                    row.total += w;
+                }
+            }
+        }
+
+        let mut model = MedicationModel {
+            n_diseases,
+            n_medicines,
+            smoothing: opts.smoothing,
+            eta,
+            phi,
+            log_likelihood: f64::NEG_INFINITY,
+            iterations: 0,
+        };
+
+        // EM iterations.
+        let mut prev_ll = f64::NEG_INFINITY;
+        for iter in 0..opts.max_iters {
+            let (new_phi, ll) = model.em_step(month, None);
+            model.phi = new_phi;
+            model.log_likelihood = ll;
+            model.iterations = iter + 1;
+            if prev_ll.is_finite() {
+                let rel = (ll - prev_ll).abs() / (prev_ll.abs() + 1e-12);
+                if rel < opts.tol {
+                    break;
+                }
+            }
+            prev_ll = ll;
+        }
+        model
+    }
+
+    /// Fit a *tracked* sequence of monthly models: each month's `Φ` M-step
+    /// receives the previous month's expected counts as pseudo-counts with
+    /// weight `continuity ∈ [0, 1)` — the Topic-Tracking-Model-style
+    /// evolution the paper's discussion proposes as an extension. With
+    /// `continuity = 0` this reduces to independent monthly fits.
+    pub fn fit_tracked(
+        months: &[MonthlyDataset],
+        n_diseases: usize,
+        n_medicines: usize,
+        opts: &EmOptions,
+        continuity: f64,
+    ) -> Vec<MedicationModel> {
+        assert!((0.0..1.0).contains(&continuity), "continuity must be in [0, 1)");
+        let mut out: Vec<MedicationModel> = Vec::with_capacity(months.len());
+        for month in months {
+            let mut model = MedicationModel::fit(month, n_diseases, n_medicines, opts);
+            if continuity > 0.0 {
+                if let Some(prev) = out.last() {
+                    // Refine with the temporal prior.
+                    let mut prev_ll = f64::NEG_INFINITY;
+                    for iter in 0..opts.max_iters {
+                        let (new_phi, ll) =
+                            model.em_step(month, Some((&prev.phi, continuity)));
+                        model.phi = new_phi;
+                        model.log_likelihood = ll;
+                        model.iterations = iter + 1;
+                        if prev_ll.is_finite()
+                            && (ll - prev_ll).abs() / (prev_ll.abs() + 1e-12) < opts.tol
+                        {
+                            break;
+                        }
+                        prev_ll = ll;
+                    }
+                }
+            }
+            out.push(model);
+        }
+        out
+    }
+
+    /// One combined E+M step; returns the new `Φ` and the log-likelihood of
+    /// the data under the *current* `Φ` (computed as a by-product of the E
+    /// step, so convergence checks cost nothing extra). An optional
+    /// `(previous Φ, weight)` temporal prior contributes the previous
+    /// month's expected counts as pseudo-counts to the M-step.
+    fn em_step(
+        &self,
+        month: &MonthlyDataset,
+        prior: Option<(&[PhiRow], f64)>,
+    ) -> (Vec<PhiRow>, f64) {
+        let mut new_phi: Vec<PhiRow> = match prior {
+            Some((prev, weight)) => prev
+                .iter()
+                .map(|row| PhiRow {
+                    counts: row.counts.iter().map(|(&m, &c)| (m, c * weight)).collect(),
+                    total: row.total * weight,
+                })
+                .collect(),
+            None => (0..self.n_diseases).map(|_| PhiRow::empty()).collect(),
+        };
+        let mut ll = 0.0;
+        let mut q_buf: Vec<f64> = Vec::new();
+        for r in &month.records {
+            let n_r = r.total_diagnoses() as f64;
+            if n_r == 0.0 {
+                continue;
+            }
+            for &m in &r.medicines {
+                // q_rld ∝ θ_rd · φ_dm over the diseases present in r (Eq. 6).
+                q_buf.clear();
+                let mut denom = 0.0;
+                for &(d, n_rd) in &r.diseases {
+                    let theta = n_rd as f64 / n_r;
+                    let p = theta * self.phi_prob(d, m);
+                    q_buf.push(p);
+                    denom += p;
+                }
+                if denom <= 0.0 {
+                    // Unreachable with smoothing > 0, but stay total.
+                    continue;
+                }
+                ll += denom.ln();
+                for (&(d, _), &num) in r.diseases.iter().zip(q_buf.iter()) {
+                    let q = num / denom;
+                    if q > 0.0 {
+                        let row = &mut new_phi[d.index()];
+                        *row.counts.entry(m.0).or_insert(0.0) += q;
+                        row.total += q;
+                    }
+                }
+            }
+        }
+        (new_phi, ll)
+    }
+
+    /// Smoothed `φ_dm`.
+    #[inline]
+    pub fn phi_prob(&self, d: DiseaseId, m: MedicineId) -> f64 {
+        self.phi[d.index()].prob(m, self.smoothing, self.n_medicines)
+    }
+
+    /// `η_d` (Eq. 4).
+    #[inline]
+    pub fn eta(&self, d: DiseaseId) -> f64 {
+        self.eta[d.index()]
+    }
+
+    /// Mixture probability of medicine `m` being prescribed in a record with
+    /// the given disease bag: `P(m | r) = Σ_d θ_rd · φ_dm`. This is the
+    /// quantity the perplexity evaluation scores.
+    pub fn record_medicine_prob(&self, diseases: &[(DiseaseId, u32)], m: MedicineId) -> f64 {
+        let n_r: u32 = diseases.iter().map(|&(_, n)| n).sum();
+        if n_r == 0 {
+            return 0.0;
+        }
+        let n_r = n_r as f64;
+        diseases
+            .iter()
+            .map(|&(d, n_rd)| (n_rd as f64 / n_r) * self.phi_prob(d, m))
+            .sum()
+    }
+
+    /// Responsibilities `q_rld` for one prescription: the probability that
+    /// each disease in the bag caused medicine `m` (Eq. 6). Returns
+    /// `(disease, q)` pairs summing to 1 (or an empty vec for an empty bag).
+    pub fn responsibilities(
+        &self,
+        diseases: &[(DiseaseId, u32)],
+        m: MedicineId,
+    ) -> Vec<(DiseaseId, f64)> {
+        let n_r: u32 = diseases.iter().map(|&(_, n)| n).sum();
+        if n_r == 0 {
+            return Vec::new();
+        }
+        let n_r = n_r as f64;
+        let mut out: Vec<(DiseaseId, f64)> = diseases
+            .iter()
+            .map(|&(d, n_rd)| (d, (n_rd as f64 / n_r) * self.phi_prob(d, m)))
+            .collect();
+        let denom: f64 = out.iter().map(|&(_, p)| p).sum();
+        if denom > 0.0 {
+            for (_, p) in &mut out {
+                *p /= denom;
+            }
+        } else {
+            let uniform = 1.0 / out.len() as f64;
+            for (_, p) in &mut out {
+                *p = uniform;
+            }
+        }
+        out
+    }
+
+    /// Medicines with non-smoothing mass for disease `d`, as
+    /// `(medicine, φ_dm)` pairs in arbitrary order.
+    pub fn phi_row(&self, d: DiseaseId) -> Vec<(MedicineId, f64)> {
+        let row = &self.phi[d.index()];
+        row.counts
+            .iter()
+            .map(|(&m, _)| {
+                let mid = MedicineId(m);
+                (mid, row.prob(mid, self.smoothing, self.n_medicines))
+            })
+            .collect()
+    }
+
+    pub fn n_diseases(&self) -> usize {
+        self.n_diseases
+    }
+
+    pub fn n_medicines(&self) -> usize {
+        self.n_medicines
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mic_claims::{HospitalId, MicRecord, Month, PatientId};
+
+    fn record(diseases: Vec<(u32, u32)>, meds: Vec<u32>) -> MicRecord {
+        let truth = vec![DiseaseId(diseases[0].0); meds.len()];
+        MicRecord {
+            patient: PatientId(0),
+            hospital: HospitalId(0),
+            diseases: diseases.into_iter().map(|(d, n)| (DiseaseId(d), n)).collect(),
+            medicines: meds.into_iter().map(MedicineId).collect(),
+            truth_links: truth,
+        }
+    }
+
+    /// Two diseases that never co-occur: the model must learn disjoint φ.
+    #[test]
+    fn separable_diseases_learn_disjoint_phi() {
+        let mut records = Vec::new();
+        for _ in 0..20 {
+            records.push(record(vec![(0, 1)], vec![0, 0]));
+            records.push(record(vec![(1, 1)], vec![1]));
+        }
+        let month = MonthlyDataset { month: Month(0), records };
+        let model = MedicationModel::fit(&month, 2, 2, &EmOptions::default());
+        assert!(model.phi_prob(DiseaseId(0), MedicineId(0)) > 0.95);
+        assert!(model.phi_prob(DiseaseId(0), MedicineId(1)) < 0.05);
+        assert!(model.phi_prob(DiseaseId(1), MedicineId(1)) > 0.95);
+    }
+
+    /// The paper's Fig. 2 situation: disease A (hypertension) co-occurs with
+    /// disease B (arthritis) whose medicine 1 (analgesic) is very frequent.
+    /// Records containing only B reveal that medicine 1 belongs to B, so EM
+    /// must push φ_{A,1} toward zero even though A and medicine 1 co-occur a
+    /// lot; the cooccurrence baseline cannot do this.
+    #[test]
+    fn em_disambiguates_confounded_medicines() {
+        let mut records = Vec::new();
+        // A+B records: medicine 0 (for A) and lots of medicine 1 (for B).
+        for _ in 0..30 {
+            records.push(record(vec![(0, 1), (1, 1)], vec![0, 1, 1, 1]));
+        }
+        // B-only records anchor medicine 1 to B.
+        for _ in 0..30 {
+            records.push(record(vec![(1, 1)], vec![1, 1, 1]));
+        }
+        // A-only records anchor medicine 0 to A.
+        for _ in 0..10 {
+            records.push(record(vec![(0, 1)], vec![0]));
+        }
+        let month = MonthlyDataset { month: Month(0), records };
+        let model = MedicationModel::fit(&month, 2, 2, &EmOptions::default());
+        let phi_a0 = model.phi_prob(DiseaseId(0), MedicineId(0));
+        let phi_a1 = model.phi_prob(DiseaseId(0), MedicineId(1));
+        assert!(
+            phi_a0 > phi_a1,
+            "medicine 0 should dominate for disease A: {phi_a0} vs {phi_a1}"
+        );
+        assert!(phi_a0 > 0.6, "phi_a0 = {phi_a0}");
+    }
+
+    #[test]
+    fn eta_matches_eq4() {
+        let records = vec![record(vec![(0, 2), (1, 1)], vec![0]), record(vec![(1, 3)], vec![0])];
+        let month = MonthlyDataset { month: Month(0), records };
+        let model = MedicationModel::fit(&month, 2, 1, &EmOptions::default());
+        // Counts: d0 = 2, d1 = 4 → η = (1/3, 2/3).
+        assert!((model.eta(DiseaseId(0)) - 1.0 / 3.0).abs() < 1e-12);
+        assert!((model.eta(DiseaseId(1)) - 2.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn phi_rows_are_distributions() {
+        let records = vec![
+            record(vec![(0, 1), (1, 2)], vec![0, 1, 2]),
+            record(vec![(0, 2)], vec![0, 0]),
+            record(vec![(1, 1)], vec![2]),
+        ];
+        let month = MonthlyDataset { month: Month(0), records };
+        let model = MedicationModel::fit(&month, 2, 3, &EmOptions::default());
+        for d in 0..2 {
+            let total: f64 =
+                (0..3).map(|m| model.phi_prob(DiseaseId(d), MedicineId(m))).sum();
+            assert!((total - 1.0).abs() < 1e-9, "row {d} sums to {total}");
+        }
+    }
+
+    #[test]
+    fn responsibilities_sum_to_one_and_respect_theta() {
+        let records = vec![record(vec![(0, 3), (1, 1)], vec![0])];
+        let month = MonthlyDataset { month: Month(0), records: records.clone() };
+        let model = MedicationModel::fit(&month, 2, 1, &EmOptions::default());
+        let q = model.responsibilities(&records[0].diseases, MedicineId(0));
+        assert_eq!(q.len(), 2);
+        let total: f64 = q.iter().map(|&(_, p)| p).sum();
+        assert!((total - 1.0).abs() < 1e-12);
+        // With a single medicine, φ rows are identical, so q follows θ: 3:1.
+        assert!((q[0].1 - 0.75).abs() < 1e-6, "q0 = {}", q[0].1);
+    }
+
+    #[test]
+    fn likelihood_is_monotone_under_em() {
+        // Fit with increasing iteration caps; log-likelihood must not drop.
+        let mut records = Vec::new();
+        for i in 0..40 {
+            records.push(record(vec![(i % 3, 1), ((i + 1) % 3, 2)], vec![i % 4, (i * 2) % 4]));
+        }
+        let month = MonthlyDataset { month: Month(0), records };
+        let mut prev = f64::NEG_INFINITY;
+        for iters in [1, 2, 4, 8, 16] {
+            let opts = EmOptions { max_iters: iters, tol: 0.0, ..Default::default() };
+            let model = MedicationModel::fit(&month, 3, 4, &opts);
+            assert!(
+                model.log_likelihood >= prev - 1e-9,
+                "LL dropped: {prev} -> {} at {iters} iters",
+                model.log_likelihood
+            );
+            prev = model.log_likelihood;
+        }
+    }
+
+    #[test]
+    fn converges_before_cap_on_easy_data() {
+        let mut records = Vec::new();
+        for _ in 0..50 {
+            records.push(record(vec![(0, 1)], vec![0]));
+            records.push(record(vec![(1, 1)], vec![1]));
+        }
+        let month = MonthlyDataset { month: Month(0), records };
+        let model = MedicationModel::fit(&month, 2, 2, &EmOptions::default());
+        assert!(model.iterations < 100, "took {} iterations", model.iterations);
+    }
+
+    #[test]
+    fn record_medicine_prob_is_mixture() {
+        let records = vec![record(vec![(0, 1)], vec![0]), record(vec![(1, 1)], vec![1])];
+        let month = MonthlyDataset { month: Month(0), records };
+        let model = MedicationModel::fit(&month, 2, 2, &EmOptions::default());
+        let bag = vec![(DiseaseId(0), 1), (DiseaseId(1), 1)];
+        let p0 = model.record_medicine_prob(&bag, MedicineId(0));
+        let expected = 0.5 * model.phi_prob(DiseaseId(0), MedicineId(0))
+            + 0.5 * model.phi_prob(DiseaseId(1), MedicineId(0));
+        assert!((p0 - expected).abs() < 1e-12);
+    }
+
+    #[test]
+    fn tracked_fit_smooths_sparse_months() {
+        // Month 0 is rich; month 1 is very sparse. Tracked fitting should
+        // carry month-0 knowledge into month 1's φ.
+        let mut rich = Vec::new();
+        for _ in 0..40 {
+            rich.push(record(vec![(0, 1)], vec![0, 0]));
+            rich.push(record(vec![(1, 1)], vec![1]));
+        }
+        // Sparse month: a single ambiguous comorbid record.
+        let sparse = vec![record(vec![(0, 1), (1, 1)], vec![0])];
+        let months = vec![
+            MonthlyDataset { month: Month(0), records: rich },
+            MonthlyDataset { month: Month(1), records: sparse },
+        ];
+        let opts = EmOptions::default();
+        let independent = MedicationModel::fit(&months[1], 2, 2, &opts);
+        let tracked = MedicationModel::fit_tracked(&months, 2, 2, &opts, 0.5);
+        // Which disease caused the sparse month's prescription? The
+        // independent fit cannot tell (responsibility ≈ 0.5 each); the
+        // tracked fit carries month-0 knowledge that medicine 0 belongs to
+        // disease 0.
+        let bag = vec![(DiseaseId(0), 1), (DiseaseId(1), 1)];
+        let q_ind = independent.responsibilities(&bag, MedicineId(0))[0].1;
+        let q_trk = tracked[1].responsibilities(&bag, MedicineId(0))[0].1;
+        assert!((q_ind - 0.5).abs() < 0.05, "independent q = {q_ind:.3}");
+        assert!(
+            q_trk > q_ind + 0.2,
+            "tracked q ({q_trk:.3}) should exceed independent ({q_ind:.3})"
+        );
+        // Zero continuity reproduces independent fits.
+        let zero = MedicationModel::fit_tracked(&months, 2, 2, &opts, 0.0);
+        let q_zero = zero[1].responsibilities(&bag, MedicineId(0))[0].1;
+        assert!((q_zero - q_ind).abs() < 1e-9);
+    }
+
+    #[test]
+    fn tracked_rows_remain_distributions() {
+        let months = vec![
+            MonthlyDataset { month: Month(0), records: vec![record(vec![(0, 1)], vec![0, 1])] },
+            MonthlyDataset { month: Month(1), records: vec![record(vec![(1, 2)], vec![1])] },
+        ];
+        let tracked = MedicationModel::fit_tracked(&months, 2, 2, &EmOptions::default(), 0.8);
+        for model in &tracked {
+            for d in 0..2 {
+                let total: f64 =
+                    (0..2).map(|m| model.phi_prob(DiseaseId(d), MedicineId(m))).sum();
+                assert!((total - 1.0).abs() < 1e-9);
+            }
+        }
+    }
+
+    #[test]
+    fn empty_bag_edge_cases() {
+        let month = MonthlyDataset { month: Month(0), records: vec![record(vec![(0, 1)], vec![0])] };
+        let model = MedicationModel::fit(&month, 1, 1, &EmOptions::default());
+        assert_eq!(model.record_medicine_prob(&[], MedicineId(0)), 0.0);
+        assert!(model.responsibilities(&[], MedicineId(0)).is_empty());
+    }
+}

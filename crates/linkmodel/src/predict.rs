@@ -1,0 +1,224 @@
+//! Held-out prediction evaluation (paper Section VIII-A1).
+//!
+//! The paper samples 90% of the medicines of each MIC record for training
+//! and scores the remaining 10% with perplexity (Eq. 11). The
+//! [`MedicinePredictor`] trait unifies the proposed model and the two
+//! baselines so one perplexity routine serves all three.
+
+use crate::baseline::{CooccurrenceModel, UnigramModel};
+use crate::model::MedicationModel;
+use mic_claims::{DiseaseId, MedicineId, MicRecord, MonthlyDataset};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+/// A model that can score the probability of a medicine appearing in a
+/// record with a given disease bag.
+pub trait MedicinePredictor {
+    /// `P(m | record context)`. Must be strictly positive for perplexity to
+    /// be finite — all implementations smooth.
+    fn medicine_prob(&self, diseases: &[(DiseaseId, u32)], m: MedicineId) -> f64;
+}
+
+impl MedicinePredictor for MedicationModel {
+    fn medicine_prob(&self, diseases: &[(DiseaseId, u32)], m: MedicineId) -> f64 {
+        self.record_medicine_prob(diseases, m)
+    }
+}
+
+impl MedicinePredictor for CooccurrenceModel {
+    fn medicine_prob(&self, diseases: &[(DiseaseId, u32)], m: MedicineId) -> f64 {
+        self.record_medicine_prob(diseases, m)
+    }
+}
+
+impl MedicinePredictor for UnigramModel {
+    fn medicine_prob(&self, _diseases: &[(DiseaseId, u32)], m: MedicineId) -> f64 {
+        self.prob(m)
+    }
+}
+
+/// Options for the train/test medicine split.
+#[derive(Clone, Copy, Debug)]
+pub struct SplitOptions {
+    /// Fraction of each record's medicines held out for testing (paper: 0.1).
+    pub test_fraction: f64,
+    pub seed: u64,
+}
+
+impl Default for SplitOptions {
+    fn default() -> Self {
+        SplitOptions { test_fraction: 0.1, seed: 13 }
+    }
+}
+
+/// Per-record held-out medicines: `(record index, test medicines)`.
+pub type HeldOut = Vec<(usize, Vec<MedicineId>)>;
+
+/// Split each record's medicines into train (kept in the returned dataset)
+/// and test (returned separately). Records with a single medicine keep it in
+/// training (nothing to hold out without leaving the record empty).
+pub fn split_records(month: &MonthlyDataset, opts: &SplitOptions) -> (MonthlyDataset, HeldOut) {
+    assert!((0.0..1.0).contains(&opts.test_fraction), "test_fraction must be in [0,1)");
+    let mut rng = SmallRng::seed_from_u64(opts.seed ^ (month.month.0 as u64).wrapping_mul(0x9e37));
+    let mut train_records = Vec::with_capacity(month.records.len());
+    let mut held_out = Vec::new();
+    for (i, r) in month.records.iter().enumerate() {
+        if r.medicines.len() < 2 {
+            train_records.push(r.clone());
+            continue;
+        }
+        let mut train_m = Vec::new();
+        let mut train_t = Vec::new();
+        let mut test_m = Vec::new();
+        for (l, &m) in r.medicines.iter().enumerate() {
+            if rng.gen_bool(opts.test_fraction) {
+                test_m.push(m);
+            } else {
+                train_m.push(m);
+                train_t.push(r.truth_links[l]);
+            }
+        }
+        if train_m.is_empty() {
+            // Keep at least one medicine in training.
+            let m = test_m.pop().unwrap();
+            train_m.push(m);
+            train_t.push(r.truth_links[r.medicines.iter().position(|&x| x == m).unwrap()]);
+        }
+        train_records.push(MicRecord {
+            patient: r.patient,
+            hospital: r.hospital,
+            diseases: r.diseases.clone(),
+            medicines: train_m,
+            truth_links: train_t,
+        });
+        if !test_m.is_empty() {
+            held_out.push((i, test_m));
+        }
+    }
+    (MonthlyDataset { month: month.month, records: train_records }, held_out)
+}
+
+/// Perplexity (Eq. 11) of a predictor over held-out medicines:
+/// `exp(−Σ log P(m' | r) / Σ L'_r)`. Returns `NaN` when nothing was held
+/// out.
+pub fn perplexity<P: MedicinePredictor>(
+    predictor: &P,
+    month: &MonthlyDataset,
+    held_out: &[(usize, Vec<MedicineId>)],
+) -> f64 {
+    let mut log_sum = 0.0;
+    let mut n = 0usize;
+    for &(record_idx, ref test_meds) in held_out {
+        let diseases = &month.records[record_idx].diseases;
+        for &m in test_meds {
+            let p = predictor.medicine_prob(diseases, m);
+            assert!(p > 0.0, "predictor must smooth: P = 0 for medicine {m}");
+            log_sum += p.ln();
+            n += 1;
+        }
+    }
+    if n == 0 {
+        f64::NAN
+    } else {
+        (-log_sum / n as f64).exp()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::EmOptions;
+    use mic_claims::{HospitalId, Month, PatientId};
+
+    fn record(diseases: Vec<(u32, u32)>, meds: Vec<u32>) -> MicRecord {
+        let truth = vec![DiseaseId(diseases[0].0); meds.len()];
+        MicRecord {
+            patient: PatientId(0),
+            hospital: HospitalId(0),
+            diseases: diseases.into_iter().map(|(d, n)| (DiseaseId(d), n)).collect(),
+            medicines: meds.into_iter().map(MedicineId).collect(),
+            truth_links: truth,
+        }
+    }
+
+    fn bigger_month() -> MonthlyDataset {
+        let mut records = Vec::new();
+        for i in 0..200 {
+            let d = i % 4;
+            // Disease d strongly prefers medicine d; occasional medicine 4.
+            let meds = if i % 10 == 0 { vec![d, 4] } else { vec![d, d] };
+            records.push(record(vec![(d, 1)], meds));
+        }
+        MonthlyDataset { month: Month(0), records }
+    }
+
+    #[test]
+    fn split_preserves_totals_and_structure() {
+        let month = bigger_month();
+        let (train, held) = split_records(&month, &SplitOptions::default());
+        assert_eq!(train.records.len(), month.records.len());
+        let total_before: usize = month.records.iter().map(|r| r.medicines.len()).sum();
+        let total_after: usize = train.records.iter().map(|r| r.medicines.len()).sum();
+        let total_held: usize = held.iter().map(|(_, m)| m.len()).sum();
+        assert_eq!(total_before, total_after + total_held);
+        assert!(total_held > 0, "10% of 400 medicines should hold out something");
+        for r in &train.records {
+            assert!(!r.medicines.is_empty());
+            assert_eq!(r.medicines.len(), r.truth_links.len());
+        }
+    }
+
+    #[test]
+    fn split_is_deterministic() {
+        let month = bigger_month();
+        let (a_train, a_held) = split_records(&month, &SplitOptions::default());
+        let (b_train, b_held) = split_records(&month, &SplitOptions::default());
+        assert_eq!(a_train.records, b_train.records);
+        assert_eq!(a_held, b_held);
+    }
+
+    #[test]
+    fn single_medicine_records_stay_in_training() {
+        let month = MonthlyDataset {
+            month: Month(0),
+            records: vec![record(vec![(0, 1)], vec![0])],
+        };
+        let (train, held) = split_records(&month, &SplitOptions { test_fraction: 0.9, seed: 1 });
+        assert_eq!(train.records[0].medicines.len(), 1);
+        assert!(held.is_empty());
+    }
+
+    #[test]
+    fn proposed_beats_unigram_on_disease_specific_data() {
+        let month = bigger_month();
+        let (train, held) = split_records(&month, &SplitOptions::default());
+        let model = MedicationModel::fit(&train, 4, 5, &EmOptions::default());
+        let unigram = UnigramModel::fit(&train, 5, 1e-3);
+        let ppl_model = perplexity(&model, &month, &held);
+        let ppl_unigram = perplexity(&unigram, &month, &held);
+        assert!(
+            ppl_model < ppl_unigram,
+            "proposed {ppl_model} should beat unigram {ppl_unigram}"
+        );
+    }
+
+    #[test]
+    fn perplexity_of_perfect_predictor_is_one() {
+        struct Oracle;
+        impl MedicinePredictor for Oracle {
+            fn medicine_prob(&self, _d: &[(DiseaseId, u32)], _m: MedicineId) -> f64 {
+                1.0
+            }
+        }
+        let month = bigger_month();
+        let (_, held) = split_records(&month, &SplitOptions::default());
+        assert!((perplexity(&Oracle, &month, &held) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn perplexity_nan_when_nothing_held_out() {
+        let month = MonthlyDataset { month: Month(0), records: vec![] };
+        let unigram = UnigramModel::fit(&month, 1, 1e-3);
+        assert!(perplexity(&unigram, &month, &[]).is_nan());
+    }
+}

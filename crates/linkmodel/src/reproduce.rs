@@ -1,0 +1,331 @@
+//! Time-series reproduction (paper Section IV-D).
+//!
+//! Applying the fitted medication model to each monthly dataset yields the
+//! prescription tensor `X_P ∈ R^{D×M×T}` via the responsibilities (Eq. 7):
+//! `x_dmt = Σ_r Σ_l q_rld · 1(m_rl = m)`, from which disease series
+//! `x_dt = Σ_m x_dmt` and medicine series `x_mt = Σ_d x_dmt` follow (Eq. 8).
+//! `X_P` is extremely sparse (the paper has ~207k non-trivial pairs out of
+//! 9,173 × 9,346 possible), so the panel stores prescription series in a
+//! hash map keyed by the pair and the marginals densely.
+
+use crate::model::MedicationModel;
+use mic_claims::{DiseaseId, MedicineId, MonthlyDataset};
+use std::collections::HashMap;
+
+/// Identifies one reproduced time series.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum SeriesKey {
+    Disease(DiseaseId),
+    Medicine(MedicineId),
+    Prescription(DiseaseId, MedicineId),
+}
+
+impl std::fmt::Display for SeriesKey {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SeriesKey::Disease(d) => write!(f, "disease/{d}"),
+            SeriesKey::Medicine(m) => write!(f, "medicine/{m}"),
+            SeriesKey::Prescription(d, m) => write!(f, "prescription/{d}/{m}"),
+        }
+    }
+}
+
+/// Reproduced monthly time series for prescriptions, diseases, and
+/// medicines.
+#[derive(Clone, Debug)]
+pub struct PrescriptionPanel {
+    horizon: usize,
+    prescriptions: HashMap<(u32, u32), Vec<f64>>,
+    diseases: Vec<Vec<f64>>,
+    medicines: Vec<Vec<f64>>,
+}
+
+impl PrescriptionPanel {
+    /// Number of months `T`.
+    pub fn horizon(&self) -> usize {
+        self.horizon
+    }
+
+    /// Number of (d, m) pairs with any mass.
+    pub fn n_prescription_series(&self) -> usize {
+        self.prescriptions.len()
+    }
+
+    /// The reproduced prescription series for `(d, m)`, if any mass was ever
+    /// assigned to the pair.
+    pub fn prescription_series(&self, d: DiseaseId, m: MedicineId) -> Option<&[f64]> {
+        self.prescriptions.get(&(d.0, m.0)).map(|v| v.as_slice())
+    }
+
+    /// Disease marginal series `x_d·` (Eq. 8).
+    pub fn disease_series(&self, d: DiseaseId) -> &[f64] {
+        &self.diseases[d.index()]
+    }
+
+    /// Medicine marginal series `x_m·` (Eq. 8).
+    pub fn medicine_series(&self, m: MedicineId) -> &[f64] {
+        &self.medicines[m.index()]
+    }
+
+    /// Fetch any series by key (`None` only for absent prescription pairs).
+    pub fn series(&self, key: SeriesKey) -> Option<&[f64]> {
+        match key {
+            SeriesKey::Disease(d) => Some(self.disease_series(d)),
+            SeriesKey::Medicine(m) => Some(self.medicine_series(m)),
+            SeriesKey::Prescription(d, m) => self.prescription_series(d, m),
+        }
+    }
+
+    /// Iterate all prescription series.
+    pub fn iter_prescriptions(&self) -> impl Iterator<Item = (DiseaseId, MedicineId, &[f64])> {
+        self.prescriptions
+            .iter()
+            .map(|(&(d, m), v)| (DiseaseId(d), MedicineId(m), v.as_slice()))
+    }
+
+    /// Total prescription count per pair over the whole window
+    /// (`x_dm = Σ_t x_dmt`, the ranking statistic of Section VIII-A2).
+    pub fn pair_totals(&self) -> HashMap<(u32, u32), f64> {
+        self.prescriptions.iter().map(|(&k, v)| (k, v.iter().sum())).collect()
+    }
+
+    /// Keys of every series whose total mass over the window is at least
+    /// `min_total` — the paper's Section VI series filter (threshold 10).
+    /// Sorted for deterministic iteration.
+    pub fn filtered_keys(&self, min_total: f64) -> Vec<SeriesKey> {
+        let mut keys = Vec::new();
+        for (d, series) in self.diseases.iter().enumerate() {
+            if series.iter().sum::<f64>() >= min_total {
+                keys.push(SeriesKey::Disease(DiseaseId(d as u32)));
+            }
+        }
+        for (m, series) in self.medicines.iter().enumerate() {
+            if series.iter().sum::<f64>() >= min_total {
+                keys.push(SeriesKey::Medicine(MedicineId(m as u32)));
+            }
+        }
+        for (&(d, m), series) in &self.prescriptions {
+            if series.iter().sum::<f64>() >= min_total {
+                keys.push(SeriesKey::Prescription(DiseaseId(d), MedicineId(m)));
+            }
+        }
+        keys.sort();
+        keys
+    }
+
+    /// Top `n` diseases by total mass, descending — the "100 most frequent
+    /// diseases" of the relevance evaluation.
+    pub fn top_diseases(&self, n: usize) -> Vec<DiseaseId> {
+        let mut totals: Vec<(usize, f64)> = self
+            .diseases
+            .iter()
+            .enumerate()
+            .map(|(d, s)| (d, s.iter().sum::<f64>()))
+            .collect();
+        totals.sort_by(|a, b| b.1.partial_cmp(&a.1).expect("NaN total"));
+        totals.into_iter().take(n).map(|(d, _)| DiseaseId(d as u32)).collect()
+    }
+}
+
+/// Incremental panel construction, one fitted month at a time.
+pub struct PanelBuilder {
+    n_diseases: usize,
+    n_medicines: usize,
+    horizon: usize,
+    prescriptions: HashMap<(u32, u32), Vec<f64>>,
+    diseases: Vec<Vec<f64>>,
+    medicines: Vec<Vec<f64>>,
+    months_added: Vec<bool>,
+}
+
+impl PanelBuilder {
+    pub fn new(n_diseases: usize, n_medicines: usize, horizon: usize) -> PanelBuilder {
+        PanelBuilder {
+            n_diseases,
+            n_medicines,
+            horizon,
+            prescriptions: HashMap::new(),
+            diseases: vec![vec![0.0; horizon]; n_diseases],
+            medicines: vec![vec![0.0; horizon]; n_medicines],
+            months_added: vec![false; horizon],
+        }
+    }
+
+    /// Add month `t`'s reproduced counts using the model fitted to that
+    /// month (Eq. 7).
+    pub fn add_month(&mut self, month: &MonthlyDataset, model: &MedicationModel) {
+        let t = month.month.index();
+        assert!(t < self.horizon, "month {t} beyond horizon {}", self.horizon);
+        assert!(!self.months_added[t], "month {t} added twice");
+        self.months_added[t] = true;
+        for r in &month.records {
+            for &m in &r.medicines {
+                for (d, q) in model.responsibilities(&r.diseases, m) {
+                    if q <= 0.0 {
+                        continue;
+                    }
+                    self.prescriptions
+                        .entry((d.0, m.0))
+                        .or_insert_with(|| vec![0.0; self.horizon])[t] += q;
+                    self.diseases[d.index()][t] += q;
+                    self.medicines[m.index()][t] += q;
+                }
+            }
+        }
+    }
+
+    /// Finish; panics if any month was never added.
+    pub fn build(self) -> PrescriptionPanel {
+        assert!(
+            self.months_added.iter().all(|&a| a),
+            "panel is missing months: {:?}",
+            self.months_added
+                .iter()
+                .enumerate()
+                .filter(|(_, &a)| !a)
+                .map(|(t, _)| t)
+                .collect::<Vec<_>>()
+        );
+        let _ = self.n_medicines;
+        let _ = self.n_diseases;
+        PrescriptionPanel {
+            horizon: self.horizon,
+            prescriptions: self.prescriptions,
+            diseases: self.diseases,
+            medicines: self.medicines,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::EmOptions;
+    use mic_claims::{HospitalId, MicRecord, Month, PatientId};
+
+    fn record(diseases: Vec<(u32, u32)>, meds: Vec<u32>) -> MicRecord {
+        let truth = vec![DiseaseId(diseases[0].0); meds.len()];
+        MicRecord {
+            patient: PatientId(0),
+            hospital: HospitalId(0),
+            diseases: diseases.into_iter().map(|(d, n)| (DiseaseId(d), n)).collect(),
+            medicines: meds.into_iter().map(MedicineId).collect(),
+            truth_links: truth,
+        }
+    }
+
+    fn month(t: u32, records: Vec<MicRecord>) -> MonthlyDataset {
+        MonthlyDataset { month: Month(t), records }
+    }
+
+    fn build_panel(months: Vec<MonthlyDataset>, n_d: usize, n_m: usize) -> PrescriptionPanel {
+        let horizon = months.len();
+        let mut builder = PanelBuilder::new(n_d, n_m, horizon);
+        for m in &months {
+            let model = MedicationModel::fit(m, n_d, n_m, &EmOptions::default());
+            builder.add_month(m, &model);
+        }
+        builder.build()
+    }
+
+    #[test]
+    fn responsibilities_conserve_prescription_mass() {
+        // Total panel mass per month must equal the number of prescriptions.
+        let months = vec![
+            month(0, vec![record(vec![(0, 1), (1, 2)], vec![0, 1]), record(vec![(1, 1)], vec![1])]),
+            month(1, vec![record(vec![(0, 2)], vec![0, 0, 1])]),
+        ];
+        let panel = build_panel(months, 2, 2);
+        let t0: f64 = (0..2).map(|d| panel.disease_series(DiseaseId(d))[0]).sum();
+        assert!((t0 - 3.0).abs() < 1e-9, "month 0 mass = {t0}");
+        let t1: f64 = (0..2).map(|d| panel.disease_series(DiseaseId(d))[1]).sum();
+        assert!((t1 - 3.0).abs() < 1e-9, "month 1 mass = {t1}");
+        // Medicine marginals conserve the same mass.
+        let m0: f64 = (0..2).map(|m| panel.medicine_series(MedicineId(m))[0]).sum();
+        assert!((m0 - 3.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn marginals_match_pair_sums() {
+        let months = vec![month(
+            0,
+            vec![
+                record(vec![(0, 1), (1, 1)], vec![0, 1, 1]),
+                record(vec![(0, 2)], vec![0]),
+            ],
+        )];
+        let panel = build_panel(months, 2, 2);
+        for d in 0..2u32 {
+            let marginal = panel.disease_series(DiseaseId(d))[0];
+            let from_pairs: f64 = (0..2u32)
+                .filter_map(|m| panel.prescription_series(DiseaseId(d), MedicineId(m)))
+                .map(|s| s[0])
+                .sum();
+            assert!((marginal - from_pairs).abs() < 1e-9, "d{d}: {marginal} vs {from_pairs}");
+        }
+    }
+
+    #[test]
+    fn single_disease_records_attribute_fully() {
+        let months = vec![month(0, vec![record(vec![(0, 1)], vec![0, 0])])];
+        let panel = build_panel(months, 1, 1);
+        let series = panel.prescription_series(DiseaseId(0), MedicineId(0)).unwrap();
+        assert!((series[0] - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn filtered_keys_respect_threshold() {
+        let months = vec![
+            month(0, vec![record(vec![(0, 1)], vec![0; 12])]),
+            month(1, vec![record(vec![(1, 1)], vec![1])]),
+        ];
+        let panel = build_panel(months, 2, 2);
+        let keys = panel.filtered_keys(10.0);
+        assert!(keys.contains(&SeriesKey::Disease(DiseaseId(0))));
+        assert!(keys.contains(&SeriesKey::Medicine(MedicineId(0))));
+        assert!(keys.contains(&SeriesKey::Prescription(DiseaseId(0), MedicineId(0))));
+        assert!(!keys.contains(&SeriesKey::Disease(DiseaseId(1))));
+        assert!(!keys.contains(&SeriesKey::Prescription(DiseaseId(1), MedicineId(1))));
+    }
+
+    #[test]
+    fn top_diseases_ordering() {
+        let months = vec![month(
+            0,
+            vec![
+                record(vec![(0, 1)], vec![0]),
+                record(vec![(1, 1)], vec![0, 0, 0]),
+            ],
+        )];
+        let panel = build_panel(months, 3, 1);
+        let top = panel.top_diseases(2);
+        assert_eq!(top[0], DiseaseId(1));
+        assert_eq!(top[1], DiseaseId(0));
+    }
+
+    #[test]
+    #[should_panic(expected = "missing months")]
+    fn build_requires_all_months() {
+        let builder = PanelBuilder::new(1, 1, 3);
+        builder.build();
+    }
+
+    #[test]
+    #[should_panic(expected = "added twice")]
+    fn double_add_panics() {
+        let m = month(0, vec![]);
+        let model = MedicationModel::fit(&m, 1, 1, &EmOptions::default());
+        let mut builder = PanelBuilder::new(1, 1, 1);
+        builder.add_month(&m, &model);
+        builder.add_month(&m, &model);
+    }
+
+    #[test]
+    fn series_key_display() {
+        assert_eq!(SeriesKey::Disease(DiseaseId(1)).to_string(), "disease/D1");
+        assert_eq!(
+            SeriesKey::Prescription(DiseaseId(1), MedicineId(2)).to_string(),
+            "prescription/D1/M2"
+        );
+    }
+}

@@ -1,0 +1,117 @@
+//! Property-based tests for the link-prediction models: distributional
+//! invariants of EM under arbitrary record structures.
+
+use mic_claims::{DiseaseId, HospitalId, MedicineId, MicRecord, Month, MonthlyDataset, PatientId};
+use mic_linkmodel::{
+    perplexity, split_records, CooccurrenceModel, EmOptions, MedicationModel, SplitOptions,
+    UnigramModel,
+};
+use proptest::prelude::*;
+
+const N_D: usize = 5;
+const N_M: usize = 7;
+
+/// Arbitrary structurally-valid MIC record over the small vocabulary.
+fn arb_record() -> impl Strategy<Value = MicRecord> {
+    (
+        prop::collection::btree_map(0u32..N_D as u32, 1u32..4, 1..N_D),
+        prop::collection::vec(0u32..N_M as u32, 0..8),
+    )
+        .prop_map(|(diseases, meds)| {
+            let diseases: Vec<(DiseaseId, u32)> =
+                diseases.into_iter().map(|(d, n)| (DiseaseId(d), n)).collect();
+            let truth = vec![diseases[0].0; meds.len()];
+            MicRecord {
+                patient: PatientId(0),
+                hospital: HospitalId(0),
+                diseases,
+                medicines: meds.into_iter().map(MedicineId).collect(),
+                truth_links: truth,
+            }
+        })
+}
+
+fn arb_month() -> impl Strategy<Value = MonthlyDataset> {
+    prop::collection::vec(arb_record(), 1..40)
+        .prop_map(|records| MonthlyDataset { month: Month(0), records })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn phi_rows_are_probability_distributions(month in arb_month()) {
+        let model = MedicationModel::fit(&month, N_D, N_M, &EmOptions::default());
+        for d in 0..N_D {
+            let total: f64 = (0..N_M)
+                .map(|m| model.phi_prob(DiseaseId(d as u32), MedicineId(m as u32)))
+                .sum();
+            prop_assert!((total - 1.0).abs() < 1e-9, "row {d} sums to {total}");
+        }
+        // η is a distribution too.
+        let eta_total: f64 = (0..N_D).map(|d| model.eta(DiseaseId(d as u32))).sum();
+        prop_assert!((eta_total - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn responsibilities_are_normalised(month in arb_month()) {
+        let model = MedicationModel::fit(&month, N_D, N_M, &EmOptions::default());
+        for r in &month.records {
+            for &m in &r.medicines {
+                let q = model.responsibilities(&r.diseases, m);
+                prop_assert_eq!(q.len(), r.diseases.len());
+                let total: f64 = q.iter().map(|&(_, p)| p).sum();
+                prop_assert!((total - 1.0).abs() < 1e-9);
+                for (_, p) in q {
+                    prop_assert!((0.0..=1.0 + 1e-12).contains(&p));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn mixture_probs_are_valid_and_normalised(month in arb_month()) {
+        let model = MedicationModel::fit(&month, N_D, N_M, &EmOptions::default());
+        let cooc = CooccurrenceModel::fit(&month, N_D, N_M, 1e-3);
+        let unigram = UnigramModel::fit(&month, N_M, 1e-3);
+        for r in month.records.iter().take(5) {
+            let mut totals = [0.0; 3];
+            for m in 0..N_M {
+                let m = MedicineId(m as u32);
+                let p0 = model.record_medicine_prob(&r.diseases, m);
+                let p1 = cooc.record_medicine_prob(&r.diseases, m);
+                let p2 = unigram.prob(m);
+                for (i, p) in [p0, p1, p2].into_iter().enumerate() {
+                    prop_assert!(p > 0.0 && p <= 1.0, "model {i} produced {p}");
+                    totals[i] += p;
+                }
+            }
+            for (i, t) in totals.into_iter().enumerate() {
+                prop_assert!((t - 1.0).abs() < 1e-9, "model {i} total {t}");
+            }
+        }
+    }
+
+    #[test]
+    fn split_partitions_medicines(month in arb_month(), seed in 0u64..500, frac in 0.05..0.6f64) {
+        let opts = SplitOptions { test_fraction: frac, seed };
+        let (train, held) = split_records(&month, &opts);
+        let before: usize = month.records.iter().map(|r| r.medicines.len()).sum();
+        let after: usize = train.records.iter().map(|r| r.medicines.len()).sum();
+        let held_n: usize = held.iter().map(|(_, m)| m.len()).sum();
+        prop_assert_eq!(before, after + held_n);
+        for r in &train.records {
+            prop_assert_eq!(r.medicines.len(), r.truth_links.len());
+            // Records that had medicines keep at least one in training.
+            if !r.medicines.is_empty() {
+                prop_assert!(!r.diseases.is_empty());
+            }
+        }
+        // Perplexity is finite whenever something was held out.
+        if !held.is_empty() {
+            let unigram = UnigramModel::fit(&train, N_M, 1e-3);
+            let ppl = perplexity(&unigram, &month, &held);
+            prop_assert!(ppl.is_finite() && ppl >= 1.0, "perplexity {ppl}");
+        }
+    }
+}

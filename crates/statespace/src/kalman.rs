@@ -1,0 +1,246 @@
+//! Kalman filter for univariate observations.
+//!
+//! Standard prediction/update recursion with scalar innovations, storing
+//! everything the smoother and forecaster need. The log-likelihood follows
+//! Commandeur & Koopman: the first `n_diffuse` innovations (dominated by the
+//! near-diffuse prior) are excluded, so models with different numbers of
+//! diffuse states get comparable AICs via the `2·(q + w)` penalty.
+
+use crate::model::Ssm;
+use mic_stats::Mat;
+
+const LN_2PI: f64 = 1.837_877_066_409_345_5;
+
+/// Full filtering output for one series.
+#[derive(Clone, Debug)]
+pub struct FilterResult {
+    /// Log-likelihood (first `n_diffuse` innovations excluded).
+    pub loglik: f64,
+    /// One-step-ahead innovations `v_t = y_t − Z_t a_{t|t−1}`.
+    pub innovations: Vec<f64>,
+    /// Innovation variances `F_t`.
+    pub innovation_vars: Vec<f64>,
+    /// Predicted state means `a_{t|t−1}`.
+    pub predicted_means: Vec<Vec<f64>>,
+    /// Predicted state covariances `P_{t|t−1}`.
+    pub predicted_covs: Vec<Mat>,
+    /// Filtered state means `a_{t|t}`.
+    pub filtered_means: Vec<Vec<f64>>,
+    /// Filtered state covariances `P_{t|t}`.
+    pub filtered_covs: Vec<Mat>,
+}
+
+impl FilterResult {
+    /// Number of observations processed.
+    pub fn len(&self) -> usize {
+        self.innovations.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.innovations.is_empty()
+    }
+
+    /// One-step-ahead fitted values `ŷ_t = Z_t a_{t|t−1}` reconstructed from
+    /// innovations: `ŷ_t = y_t − v_t`.
+    pub fn one_step_fitted(&self, ys: &[f64]) -> Vec<f64> {
+        ys.iter().zip(&self.innovations).map(|(y, v)| y - v).collect()
+    }
+}
+
+/// Run the Kalman filter on `ys`.
+///
+/// # Panics
+/// Panics if the model fails validation or `ys` is empty.
+pub fn kalman_filter(ssm: &Ssm, ys: &[f64]) -> FilterResult {
+    debug_assert!(ssm.validate().is_ok(), "invalid SSM: {:?}", ssm.validate());
+    assert!(!ys.is_empty(), "kalman_filter requires at least one observation");
+    let m = ssm.state_dim();
+    let n = ys.len();
+
+    let mut a_pred = ssm.a0.clone();
+    let mut p_pred = ssm.p0.clone();
+
+    let mut out = FilterResult {
+        loglik: 0.0,
+        innovations: Vec::with_capacity(n),
+        innovation_vars: Vec::with_capacity(n),
+        predicted_means: Vec::with_capacity(n),
+        predicted_covs: Vec::with_capacity(n),
+        filtered_means: Vec::with_capacity(n),
+        filtered_covs: Vec::with_capacity(n),
+    };
+
+    let mut tp = Mat::zeros(m, m); // T * P_filt scratch
+    for (t, &y) in ys.iter().enumerate() {
+        let z = ssm.loading.at(t);
+
+        // Innovation.
+        let mut zy = 0.0;
+        for i in 0..m {
+            zy += z[i] * a_pred[i];
+        }
+        let v = y - zy;
+        // F = Z P Z' + H.
+        let pz: Vec<f64> = (0..m)
+            .map(|i| (0..m).map(|j| p_pred[(i, j)] * z[j]).sum::<f64>())
+            .collect();
+        let mut f = ssm.obs_var;
+        for i in 0..m {
+            f += z[i] * pz[i];
+        }
+        // Guard: numerically tiny F can happen with all-zero variances.
+        let f = f.max(1e-12);
+
+        if t >= ssm.n_diffuse && !ssm.extra_skips.contains(&t) {
+            out.loglik += -0.5 * (LN_2PI + f.ln() + v * v / f);
+        }
+
+        // Update: K = P Z' / F.
+        let k: Vec<f64> = pz.iter().map(|&p| p / f).collect();
+        let mut a_filt = a_pred.clone();
+        for i in 0..m {
+            a_filt[i] += k[i] * v;
+        }
+        // P_filt = P − K (P Z')'.
+        let mut p_filt = p_pred.clone();
+        for i in 0..m {
+            for j in 0..m {
+                p_filt[(i, j)] -= k[i] * pz[j];
+            }
+        }
+        p_filt.symmetrize();
+
+        out.innovations.push(v);
+        out.innovation_vars.push(f);
+        out.predicted_means.push(a_pred.clone());
+        out.predicted_covs.push(p_pred.clone());
+        out.filtered_means.push(a_filt.clone());
+        out.filtered_covs.push(p_filt.clone());
+
+        // Predict next: a = T a_filt; P = T P_filt T' + Q.
+        a_pred = ssm.transition.mul_vec(&a_filt);
+        ssm.transition.mul_into(&p_filt, &mut tp);
+        let tt = ssm.transition.transpose();
+        let mut next_p = &tp * &tt;
+        for i in 0..m {
+            for j in 0..m {
+                next_p[(i, j)] += ssm.state_cov[(i, j)];
+            }
+        }
+        next_p.symmetrize();
+        p_pred = next_p;
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::{ObsLoading, DIFFUSE_KAPPA};
+
+    fn local_level(var_eps: f64, var_level: f64) -> Ssm {
+        Ssm {
+            transition: Mat::identity(1),
+            state_cov: Mat::diag(&[var_level]),
+            obs_var: var_eps,
+            loading: ObsLoading::Constant(vec![1.0]),
+            a0: vec![0.0],
+            p0: Mat::diag(&[DIFFUSE_KAPPA]),
+            n_diffuse: 1,
+            extra_skips: Vec::new(),
+        }
+    }
+
+    #[test]
+    fn constant_series_filters_to_constant() {
+        let ssm = local_level(1.0, 0.0001);
+        let ys = vec![5.0; 30];
+        let r = kalman_filter(&ssm, &ys);
+        // Filtered level should converge to 5.
+        let last = r.filtered_means.last().unwrap()[0];
+        assert!((last - 5.0).abs() < 1e-6, "level = {last}");
+        // Innovations after burn-in are ~0.
+        assert!(r.innovations[29].abs() < 1e-6);
+    }
+
+    #[test]
+    fn diffuse_initialisation_jumps_to_first_observation() {
+        let ssm = local_level(1.0, 0.1);
+        let ys = vec![42.0, 42.5, 41.5];
+        let r = kalman_filter(&ssm, &ys);
+        // With κ = 1e7 the first update absorbs y_1 almost exactly.
+        assert!((r.filtered_means[0][0] - 42.0).abs() < 1e-4);
+    }
+
+    #[test]
+    fn loglik_excludes_diffuse_innovations() {
+        // The first innovation has variance ~κ; if it were included the
+        // log-likelihood would be dominated by −0.5·ln κ per unit.
+        let ssm = local_level(1.0, 0.1);
+        let ys = vec![100.0, 100.1, 99.9, 100.2];
+        let r = kalman_filter(&ssm, &ys);
+        // Reasonable magnitude for 3 scored points of N(·, ~1.1) innovations.
+        assert!(r.loglik > -10.0 && r.loglik < 0.0, "loglik = {}", r.loglik);
+    }
+
+    #[test]
+    fn loglik_matches_closed_form_for_known_model() {
+        // With a known initial state (P0 = 0, n_diffuse = 0) and zero state
+        // noise, the model reduces to iid N(a0, var_eps) observations whose
+        // log-likelihood has a closed form.
+        let ssm = Ssm {
+            transition: Mat::identity(1),
+            state_cov: Mat::diag(&[0.0]),
+            obs_var: 2.0,
+            loading: ObsLoading::Constant(vec![1.0]),
+            a0: vec![1.0],
+            p0: Mat::diag(&[0.0]),
+            n_diffuse: 0,
+            extra_skips: Vec::new(),
+        };
+        let ys = [1.5, 0.5, 2.0];
+        let r = kalman_filter(&ssm, &ys);
+        let expected: f64 = ys
+            .iter()
+            .map(|&y| mic_stats::dist::normal_ln_pdf(y, 1.0, 2.0_f64.sqrt()))
+            .sum();
+        assert!((r.loglik - expected).abs() < 1e-9, "{} vs {expected}", r.loglik);
+    }
+
+    #[test]
+    fn innovation_variances_decrease_with_information() {
+        let ssm = local_level(1.0, 0.01);
+        let ys: Vec<f64> = (0..40).map(|i| 10.0 + 0.001 * i as f64).collect();
+        let r = kalman_filter(&ssm, &ys);
+        // F_t decreases from the diffuse start toward steady state.
+        assert!(r.innovation_vars[1] > r.innovation_vars[10]);
+        assert!(r.innovation_vars[10] >= r.innovation_vars[30] - 1e-9);
+        // Steady-state F is bounded below by the observation variance.
+        assert!(r.innovation_vars[30] >= 1.0);
+    }
+
+    #[test]
+    fn higher_noise_lowers_likelihood_of_smooth_data() {
+        let smooth_ys: Vec<f64> = (0..30).map(|i| (i as f64) * 0.01).collect();
+        let good = kalman_filter(&local_level(0.1, 0.01), &smooth_ys);
+        let bad = kalman_filter(&local_level(100.0, 0.01), &smooth_ys);
+        assert!(good.loglik > bad.loglik);
+    }
+
+    #[test]
+    fn one_step_fitted_reconstruction() {
+        let ssm = local_level(1.0, 0.1);
+        let ys = vec![1.0, 2.0, 3.0];
+        let r = kalman_filter(&ssm, &ys);
+        let fitted = r.one_step_fitted(&ys);
+        for (i, f) in fitted.iter().enumerate() {
+            assert!((f - (ys[i] - r.innovations[i])).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one observation")]
+    fn empty_series_panics() {
+        kalman_filter(&local_level(1.0, 1.0), &[]);
+    }
+}

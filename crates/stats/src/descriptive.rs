@@ -1,0 +1,153 @@
+//! Descriptive statistics: means, variances, quantiles, and the
+//! mean-and-standard-deviation summaries that every table in the paper
+//! reports.
+
+/// Arithmetic mean. Returns `NaN` on an empty slice.
+pub fn mean(xs: &[f64]) -> f64 {
+    if xs.is_empty() {
+        return f64::NAN;
+    }
+    xs.iter().sum::<f64>() / xs.len() as f64
+}
+
+/// Unbiased (n−1) sample variance. Returns `NaN` for fewer than 2 points.
+pub fn sample_variance(xs: &[f64]) -> f64 {
+    if xs.len() < 2 {
+        return f64::NAN;
+    }
+    let m = mean(xs);
+    xs.iter().map(|x| (x - m) * (x - m)).sum::<f64>() / (xs.len() - 1) as f64
+}
+
+/// Unbiased sample standard deviation.
+pub fn sample_sd(xs: &[f64]) -> f64 {
+    sample_variance(xs).sqrt()
+}
+
+/// Linear-interpolation quantile (type 7, the R default), `q ∈ [0, 1]`.
+/// Returns `NaN` on an empty slice.
+pub fn quantile(xs: &[f64], q: f64) -> f64 {
+    assert!((0.0..=1.0).contains(&q), "quantile requires q in [0,1]");
+    if xs.is_empty() {
+        return f64::NAN;
+    }
+    let mut sorted = xs.to_vec();
+    sorted.sort_by(|a, b| a.partial_cmp(b).expect("NaN in quantile input"));
+    let h = q * (sorted.len() - 1) as f64;
+    let lo = h.floor() as usize;
+    let hi = h.ceil() as usize;
+    if lo == hi {
+        sorted[lo]
+    } else {
+        sorted[lo] + (h - lo as f64) * (sorted[hi] - sorted[lo])
+    }
+}
+
+/// Median (0.5 quantile).
+pub fn median(xs: &[f64]) -> f64 {
+    quantile(xs, 0.5)
+}
+
+/// One-pass mean/SD/min/max summary of a sample.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct Summary {
+    pub n: usize,
+    pub mean: f64,
+    pub sd: f64,
+    pub min: f64,
+    pub max: f64,
+}
+
+impl Summary {
+    /// Summarise a sample. `sd` is the unbiased sample SD (NaN for n < 2).
+    pub fn of(xs: &[f64]) -> Summary {
+        let n = xs.len();
+        if n == 0 {
+            return Summary { n: 0, mean: f64::NAN, sd: f64::NAN, min: f64::NAN, max: f64::NAN };
+        }
+        // Welford's algorithm: numerically stable single pass.
+        let mut mean = 0.0;
+        let mut m2 = 0.0;
+        let mut min = f64::INFINITY;
+        let mut max = f64::NEG_INFINITY;
+        for (i, &x) in xs.iter().enumerate() {
+            let delta = x - mean;
+            mean += delta / (i + 1) as f64;
+            m2 += delta * (x - mean);
+            min = min.min(x);
+            max = max.max(x);
+        }
+        let sd = if n > 1 { (m2 / (n - 1) as f64).sqrt() } else { f64::NAN };
+        Summary { n, mean, sd, min, max }
+    }
+}
+
+impl std::fmt::Display for Summary {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{:.3} ({:.3})", self.mean, self.sd)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mean_basic() {
+        assert_eq!(mean(&[1.0, 2.0, 3.0]), 2.0);
+        assert!(mean(&[]).is_nan());
+    }
+
+    #[test]
+    fn variance_known() {
+        // Var of 2,4,4,4,5,5,7,9 is 4.571... (sample, n-1) = 32/7.
+        let xs = [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0];
+        assert!((sample_variance(&xs) - 32.0 / 7.0).abs() < 1e-12);
+        assert!((sample_sd(&xs) - (32.0f64 / 7.0).sqrt()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn variance_degenerate() {
+        assert!(sample_variance(&[1.0]).is_nan());
+        assert_eq!(sample_variance(&[3.0, 3.0, 3.0]), 0.0);
+    }
+
+    #[test]
+    fn quantile_interpolation() {
+        let xs = [1.0, 2.0, 3.0, 4.0];
+        assert_eq!(quantile(&xs, 0.0), 1.0);
+        assert_eq!(quantile(&xs, 1.0), 4.0);
+        assert_eq!(median(&xs), 2.5);
+        assert_eq!(quantile(&xs, 0.25), 1.75);
+    }
+
+    #[test]
+    fn quantile_unsorted_input() {
+        let xs = [9.0, 1.0, 5.0];
+        assert_eq!(median(&xs), 5.0);
+    }
+
+    #[test]
+    fn summary_matches_two_pass() {
+        let xs = [1.5, 2.5, 3.5, 10.0, -4.0];
+        let s = Summary::of(&xs);
+        assert_eq!(s.n, 5);
+        assert!((s.mean - mean(&xs)).abs() < 1e-12);
+        assert!((s.sd - sample_sd(&xs)).abs() < 1e-12);
+        assert_eq!(s.min, -4.0);
+        assert_eq!(s.max, 10.0);
+    }
+
+    #[test]
+    fn summary_empty() {
+        let s = Summary::of(&[]);
+        assert_eq!(s.n, 0);
+        assert!(s.mean.is_nan());
+    }
+
+    #[test]
+    fn summary_display() {
+        let s = Summary::of(&[1.0, 2.0, 3.0]);
+        assert_eq!(format!("{s}"), "2.000 (1.000)");
+    }
+}

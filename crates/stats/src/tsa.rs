@@ -1,0 +1,171 @@
+//! Time-series analysis helpers: autocorrelation and the KPSS level-
+//! stationarity test used for ARIMA differencing-order selection.
+
+use crate::descriptive::mean;
+
+/// Sample autocorrelation at `lag`.
+pub fn autocorrelation(xs: &[f64], lag: usize) -> f64 {
+    assert!(lag < xs.len(), "lag must be < series length");
+    let m = mean(xs);
+    let denom: f64 = xs.iter().map(|x| (x - m) * (x - m)).sum();
+    if denom == 0.0 {
+        return 0.0;
+    }
+    let num: f64 = (lag..xs.len()).map(|t| (xs[t] - m) * (xs[t - lag] - m)).sum();
+    num / denom
+}
+
+/// KPSS test statistic for level stationarity (Kwiatkowski et al. 1992):
+/// `η = n⁻² Σ_t S_t² / σ̂²_l` with `S_t` the partial sums of the demeaned
+/// series and `σ̂²_l` the Bartlett-window long-run variance with
+/// `l = ⌊4 (n/100)^{1/4}⌋` lags. Large values reject stationarity.
+pub fn kpss_level_statistic(xs: &[f64]) -> f64 {
+    let n = xs.len();
+    assert!(n >= 8, "KPSS needs at least 8 observations");
+    let m = mean(xs);
+    let e: Vec<f64> = xs.iter().map(|x| x - m).collect();
+    // Partial sums.
+    let mut s = 0.0;
+    let mut sum_s2 = 0.0;
+    for &ei in &e {
+        s += ei;
+        sum_s2 += s * s;
+    }
+    // Long-run variance (Bartlett kernel).
+    let l = (4.0 * (n as f64 / 100.0).powf(0.25)).floor() as usize;
+    let mut lrv: f64 = e.iter().map(|x| x * x).sum::<f64>() / n as f64;
+    for lag in 1..=l.min(n - 1) {
+        let w = 1.0 - lag as f64 / (l as f64 + 1.0);
+        let gamma: f64 =
+            (lag..n).map(|t| e[t] * e[t - lag]).sum::<f64>() / n as f64;
+        lrv += 2.0 * w * gamma;
+    }
+    if lrv <= 0.0 {
+        return 0.0;
+    }
+    sum_s2 / (n as f64 * n as f64 * lrv)
+}
+
+/// Ljung–Box portmanteau test for autocorrelation in residuals:
+/// `Q = n(n+2) Σ_{k=1..h} ρ̂_k² / (n−k)`, asymptotically χ²(h) under the
+/// white-noise null. Returns `(Q, p_value)`; a small p-value indicates the
+/// residuals are *not* white (the model missed structure).
+pub fn ljung_box(xs: &[f64], lags: usize) -> (f64, f64) {
+    let n = xs.len();
+    assert!(lags >= 1, "ljung_box needs at least one lag");
+    assert!(n > lags + 1, "series too short for {lags} lags");
+    let nf = n as f64;
+    let mut q = 0.0;
+    for k in 1..=lags {
+        let rho = autocorrelation(xs, k);
+        q += rho * rho / (nf - k as f64);
+    }
+    q *= nf * (nf + 2.0);
+    let p = 1.0 - crate::dist::chi_square_cdf(q, lags as f64);
+    (q, p)
+}
+
+/// 5% critical value of the KPSS level-stationarity statistic.
+pub const KPSS_LEVEL_CRIT_5PCT: f64 = 0.463;
+
+/// True when the KPSS test rejects level stationarity at 5%.
+pub fn kpss_rejects_stationarity(xs: &[f64]) -> bool {
+    kpss_level_statistic(xs) > KPSS_LEVEL_CRIT_5PCT
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::SmallRng;
+    use rand::{Rng, SeedableRng};
+
+    #[test]
+    fn autocorrelation_of_constant_shifted() {
+        let xs: Vec<f64> = (0..50).map(|i| if i % 2 == 0 { 1.0 } else { -1.0 }).collect();
+        assert!((autocorrelation(&xs, 1) + 1.0).abs() < 0.05);
+        assert!((autocorrelation(&xs, 2) - 1.0).abs() < 0.05);
+        assert_eq!(autocorrelation(&xs, 0), 1.0);
+    }
+
+    #[test]
+    fn kpss_accepts_white_noise() {
+        let mut rng = SmallRng::seed_from_u64(1);
+        let xs: Vec<f64> = (0..200).map(|_| rng.gen_range(-1.0..1.0)).collect();
+        assert!(!kpss_rejects_stationarity(&xs), "stat = {}", kpss_level_statistic(&xs));
+    }
+
+    #[test]
+    fn kpss_accepts_stationary_ar1() {
+        let mut rng = SmallRng::seed_from_u64(2);
+        let mut x = 0.0;
+        let xs: Vec<f64> = (0..300)
+            .map(|_| {
+                x = 0.8 * x + rng.gen_range(-1.0..1.0);
+                x
+            })
+            .collect();
+        assert!(!kpss_rejects_stationarity(&xs), "stat = {}", kpss_level_statistic(&xs));
+    }
+
+    #[test]
+    fn kpss_rejects_random_walk() {
+        let mut rng = SmallRng::seed_from_u64(3);
+        let mut x = 0.0;
+        let xs: Vec<f64> = (0..300)
+            .map(|_| {
+                x += rng.gen_range(-1.0..1.2);
+                x
+            })
+            .collect();
+        assert!(kpss_rejects_stationarity(&xs), "stat = {}", kpss_level_statistic(&xs));
+    }
+
+    #[test]
+    fn kpss_rejects_trend() {
+        let xs: Vec<f64> = (0..150).map(|i| i as f64 * 0.5).collect();
+        assert!(kpss_rejects_stationarity(&xs));
+    }
+
+    #[test]
+    fn ljung_box_accepts_white_noise() {
+        let mut rng = SmallRng::seed_from_u64(11);
+        let xs: Vec<f64> = (0..300).map(|_| rng.gen_range(-1.0..1.0)).collect();
+        let (_q, p) = ljung_box(&xs, 10);
+        assert!(p > 0.05, "white noise rejected: p = {p}");
+    }
+
+    #[test]
+    fn ljung_box_rejects_ar1() {
+        let mut rng = SmallRng::seed_from_u64(12);
+        let mut x = 0.0;
+        let xs: Vec<f64> = (0..300)
+            .map(|_| {
+                x = 0.7 * x + rng.gen_range(-1.0..1.0);
+                x
+            })
+            .collect();
+        let (q, p) = ljung_box(&xs, 10);
+        assert!(p < 0.001, "AR(1) should be detected: Q = {q}, p = {p}");
+    }
+
+    #[test]
+    fn ljung_box_rejects_seasonal_pattern() {
+        let xs: Vec<f64> = (0..144)
+            .map(|t| ((t % 12) as f64 / 12.0 * std::f64::consts::TAU).sin())
+            .collect();
+        let (_q, p) = ljung_box(&xs, 14);
+        assert!(p < 1e-6);
+    }
+
+    #[test]
+    #[should_panic(expected = "too short")]
+    fn ljung_box_short_series_panics() {
+        ljung_box(&[1.0, 2.0, 3.0], 5);
+    }
+
+    #[test]
+    fn kpss_zero_variance_is_stationary() {
+        let xs = vec![5.0; 50];
+        assert_eq!(kpss_level_statistic(&xs), 0.0);
+    }
+}

@@ -1,0 +1,121 @@
+//! Student's t-tests. The paper reports paired t-tests for every model
+//! comparison (Tables III and IV), e.g. `t(42) = −103.670, p < 0.001`.
+
+use crate::descriptive::{mean, sample_sd};
+use crate::dist::student_t_two_sided_p;
+
+/// Result of a t-test.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct TTestResult {
+    /// The t statistic.
+    pub t: f64,
+    /// Degrees of freedom.
+    pub df: f64,
+    /// Two-sided p-value.
+    pub p: f64,
+}
+
+impl TTestResult {
+    /// True when the two-sided p-value is below `alpha`.
+    pub fn significant(&self, alpha: f64) -> bool {
+        self.p < alpha
+    }
+}
+
+impl std::fmt::Display for TTestResult {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        if self.p < 0.001 {
+            write!(f, "t({:.0}) = {:.3}, p < 0.001", self.df, self.t)
+        } else {
+            write!(f, "t({:.0}) = {:.3}, p = {:.3}", self.df, self.t, self.p)
+        }
+    }
+}
+
+/// Paired (dependent-samples) t-test on matched observations `a` and `b`;
+/// tests whether the mean of `a − b` differs from zero.
+///
+/// # Panics
+/// Panics if the slices have different lengths or fewer than two pairs.
+pub fn paired_t_test(a: &[f64], b: &[f64]) -> TTestResult {
+    assert_eq!(a.len(), b.len(), "paired t-test needs equal-length samples");
+    assert!(a.len() >= 2, "paired t-test needs at least 2 pairs");
+    let diffs: Vec<f64> = a.iter().zip(b).map(|(x, y)| x - y).collect();
+    one_sample_t_test(&diffs, 0.0)
+}
+
+/// One-sample t-test of the mean of `xs` against `mu0`.
+///
+/// When the sample has zero variance the t statistic is `±inf` (p = 0) if
+/// the mean differs from `mu0`, or `0` (p = 1) if it equals it — this keeps
+/// the experiment harness total when a model ties with itself.
+pub fn one_sample_t_test(xs: &[f64], mu0: f64) -> TTestResult {
+    assert!(xs.len() >= 2, "one-sample t-test needs at least 2 observations");
+    let n = xs.len() as f64;
+    let m = mean(xs);
+    let sd = sample_sd(xs);
+    let df = n - 1.0;
+    if sd == 0.0 {
+        let (t, p) = if m == mu0 { (0.0, 1.0) } else { (f64::INFINITY * (m - mu0).signum(), 0.0) };
+        return TTestResult { t, df, p };
+    }
+    let t = (m - mu0) / (sd / n.sqrt());
+    TTestResult { t, df, p: student_t_two_sided_p(t, df) }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paired_test_textbook() {
+        // Classic before/after example.
+        let before = [200.0, 210.0, 190.0, 205.0, 195.0, 202.0];
+        let after = [195.0, 200.0, 186.0, 199.0, 192.0, 198.0];
+        let r = paired_t_test(&before, &after);
+        assert_eq!(r.df, 5.0);
+        // Differences: 5,10,4,6,3,4 → mean 5.333, sd 2.503; t = 5.219.
+        assert!((r.t - 5.219).abs() < 0.01, "t = {}", r.t);
+        assert!(r.p < 0.01);
+        assert!(r.significant(0.05));
+    }
+
+    #[test]
+    fn identical_samples_not_significant() {
+        let a = [1.0, 2.0, 3.0, 4.0];
+        let r = paired_t_test(&a, &a);
+        assert_eq!(r.t, 0.0);
+        assert_eq!(r.p, 1.0);
+        assert!(!r.significant(0.05));
+    }
+
+    #[test]
+    fn constant_shift_is_degenerate_significant() {
+        let a = [1.0, 2.0, 3.0];
+        let b = [2.0, 3.0, 4.0];
+        let r = paired_t_test(&a, &b);
+        assert!(r.t.is_infinite() && r.t < 0.0);
+        assert_eq!(r.p, 0.0);
+    }
+
+    #[test]
+    fn one_sample_against_mu() {
+        let xs = [5.1, 4.9, 5.2, 5.0, 4.8, 5.05];
+        let r = one_sample_t_test(&xs, 5.0);
+        assert!(!r.significant(0.05));
+        let r2 = one_sample_t_test(&xs, 3.0);
+        assert!(r2.significant(0.001));
+    }
+
+    #[test]
+    fn display_formats_like_paper() {
+        let r = TTestResult { t: -103.670, df: 42.0, p: 1e-50 };
+        assert_eq!(format!("{r}"), "t(42) = -103.670, p < 0.001");
+    }
+
+    #[test]
+    #[should_panic(expected = "equal-length")]
+    fn mismatched_lengths_panic() {
+        paired_t_test(&[1.0, 2.0], &[1.0]);
+    }
+}

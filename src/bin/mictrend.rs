@@ -1,0 +1,225 @@
+//! `mictrend` — command-line driver for the prescription trend analysis
+//! pipeline.
+//!
+//! ```text
+//! mictrend simulate --out claims.mic [--seed N] [--months N] [--patients N]
+//!                   [--diseases N] [--medicines N]
+//! mictrend stats    --data claims.mic
+//! mictrend analyze  --data claims.mic [--exact] [--no-seasonal] [--top N]
+//! mictrend series   --data claims.mic --kind <disease|medicine> --id N
+//! ```
+//!
+//! Datasets are stored in the plain-text format of `mic_claims::store`, so
+//! they can be produced here, inspected with standard tools, and consumed by
+//! library users.
+
+use prescription_trends::claims::store::{read_dataset, write_dataset};
+use prescription_trends::claims::{DatasetStats, DiseaseId, MedicineId, Simulator, WorldSpec};
+use prescription_trends::statespace::FitOptions;
+use prescription_trends::trend::report::{detected_changes_table, sparkline};
+use prescription_trends::trend::{PipelineConfig, TrendPipeline};
+use std::collections::HashMap;
+use std::fs::File;
+use std::io::{BufReader, BufWriter};
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match run(&args) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}");
+            eprintln!();
+            eprintln!("{USAGE}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+const USAGE: &str = "usage:
+  mictrend simulate --out FILE [--seed N] [--months N] [--patients N] [--diseases N] [--medicines N]
+  mictrend stats    --data FILE
+  mictrend analyze  --data FILE [--exact] [--no-seasonal] [--top N]
+  mictrend series   --data FILE --kind disease|medicine --id N";
+
+/// Minimal flag parser: `--name value` pairs plus boolean flags.
+struct Flags {
+    values: HashMap<String, String>,
+    switches: Vec<String>,
+}
+
+impl Flags {
+    fn parse(args: &[String]) -> Result<Flags, String> {
+        let mut values = HashMap::new();
+        let mut switches = Vec::new();
+        let mut i = 0;
+        while i < args.len() {
+            let arg = &args[i];
+            let Some(name) = arg.strip_prefix("--") else {
+                return Err(format!("unexpected argument {arg:?}"));
+            };
+            // Boolean switches take no value.
+            if matches!(name, "exact" | "no-seasonal") {
+                switches.push(name.to_string());
+                i += 1;
+            } else {
+                let value =
+                    args.get(i + 1).ok_or_else(|| format!("--{name} requires a value"))?;
+                values.insert(name.to_string(), value.clone());
+                i += 2;
+            }
+        }
+        Ok(Flags { values, switches })
+    }
+
+    fn get(&self, name: &str) -> Option<&str> {
+        self.values.get(name).map(String::as_str)
+    }
+
+    fn require(&self, name: &str) -> Result<&str, String> {
+        self.get(name).ok_or_else(|| format!("missing required flag --{name}"))
+    }
+
+    fn get_num<T: std::str::FromStr>(&self, name: &str, default: T) -> Result<T, String> {
+        match self.get(name) {
+            None => Ok(default),
+            Some(v) => v.parse().map_err(|_| format!("--{name}: invalid number {v:?}")),
+        }
+    }
+
+    fn has(&self, name: &str) -> bool {
+        self.switches.iter().any(|s| s == name)
+    }
+}
+
+fn run(args: &[String]) -> Result<(), String> {
+    let Some((command, rest)) = args.split_first() else {
+        return Err("no command given".into());
+    };
+    let flags = Flags::parse(rest)?;
+    match command.as_str() {
+        "simulate" => simulate(&flags),
+        "stats" => stats(&flags),
+        "analyze" => analyze(&flags),
+        "series" => series(&flags),
+        other => Err(format!("unknown command {other:?}")),
+    }
+}
+
+fn load(flags: &Flags) -> Result<prescription_trends::claims::ClaimsDataset, String> {
+    let path = flags.require("data")?;
+    let file = File::open(path).map_err(|e| format!("cannot open {path}: {e}"))?;
+    read_dataset(BufReader::new(file)).map_err(|e| format!("cannot parse {path}: {e}"))
+}
+
+fn simulate(flags: &Flags) -> Result<(), String> {
+    let out = flags.require("out")?;
+    let spec = WorldSpec {
+        seed: flags.get_num("seed", 7u64)?,
+        months: flags.get_num("months", 43u32)?,
+        n_patients: flags.get_num("patients", 800usize)?,
+        n_diseases: flags.get_num("diseases", 60usize)?,
+        n_medicines: flags.get_num("medicines", 90usize)?,
+        ..WorldSpec::default()
+    };
+    let world = spec.generate();
+    let dataset = Simulator::new(&world, spec.seed ^ 0x51d).run();
+    let file = File::create(out).map_err(|e| format!("cannot create {out}: {e}"))?;
+    write_dataset(&dataset, BufWriter::new(file)).map_err(|e| format!("write failed: {e}"))?;
+    println!(
+        "wrote {} records over {} months to {out}",
+        dataset.total_records(),
+        dataset.horizon()
+    );
+    Ok(())
+}
+
+fn stats(flags: &Flags) -> Result<(), String> {
+    let dataset = load(flags)?;
+    println!("{}", DatasetStats::compute(&dataset));
+    Ok(())
+}
+
+fn analyze(flags: &Flags) -> Result<(), String> {
+    let dataset = load(flags)?;
+    let top: usize = flags.get_num("top", 15usize)?;
+    let config = PipelineConfig {
+        approximate_search: !flags.has("exact"),
+        seasonal: !flags.has("no-seasonal") && dataset.horizon() >= 16,
+        fit: FitOptions { max_evals: 150, n_starts: 1 },
+        ..Default::default()
+    };
+    eprintln!(
+        "analysing {} months with {} change-point search...",
+        dataset.horizon(),
+        if config.approximate_search { "binary (Algorithm 2)" } else { "exhaustive (Algorithm 1)" }
+    );
+    let report = TrendPipeline::new(config).run(&dataset);
+    let (rd, rm, rp) = report.detection_rates();
+    println!(
+        "series analysed: {} | change rates: disease {:.1}%, medicine {:.1}%, prescription {:.1}%",
+        report.series.len(),
+        100.0 * rd,
+        100.0 * rm,
+        100.0 * rp
+    );
+    println!();
+    println!("{}", detected_changes_table(&report.detected(), top).render());
+    if !report.causes.is_empty() {
+        println!("causes of prescription-level changes:");
+        for (key, cause) in report.causes.iter().take(top) {
+            println!("  {key}: {cause}");
+        }
+    }
+    Ok(())
+}
+
+fn series(flags: &Flags) -> Result<(), String> {
+    let dataset = load(flags)?;
+    let kind = flags.require("kind")?;
+    let id: u32 = flags.get_num("id", 0u32)?;
+    let config = PipelineConfig {
+        fit: FitOptions { max_evals: 150, n_starts: 1 },
+        seasonal: dataset.horizon() >= 16,
+        ..Default::default()
+    };
+    let pipeline = TrendPipeline::new(config);
+    let panel = pipeline.reproduce_panel(&dataset);
+    let (key, ys) = match kind {
+        "disease" => {
+            if id as usize >= dataset.n_diseases {
+                return Err(format!("disease id {id} out of range"));
+            }
+            (
+                prescription_trends::linkmodel::SeriesKey::Disease(DiseaseId(id)),
+                panel.disease_series(DiseaseId(id)).to_vec(),
+            )
+        }
+        "medicine" => {
+            if id as usize >= dataset.n_medicines {
+                return Err(format!("medicine id {id} out of range"));
+            }
+            (
+                prescription_trends::linkmodel::SeriesKey::Medicine(MedicineId(id)),
+                panel.medicine_series(MedicineId(id)).to_vec(),
+            )
+        }
+        other => return Err(format!("--kind must be disease or medicine, got {other:?}")),
+    };
+    println!("{key}: {}", sparkline(&ys));
+    for (t, v) in ys.iter().enumerate() {
+        println!("{} {v:.2}", dataset.calendar(prescription_trends::claims::Month(t as u32)));
+    }
+    if ys.iter().sum::<f64>() >= 10.0 {
+        let report = pipeline.analyze_series(key, &ys);
+        println!(
+            "change point: {} (AIC gain {:.2}, lambda {:+.3})",
+            report.change_point,
+            report.aic_gain(),
+            report.lambda
+        );
+    } else {
+        println!("series too sparse for change-point analysis (total < 10)");
+    }
+    Ok(())
+}
