@@ -19,7 +19,10 @@ fn broken_series(n: usize, cp: usize, seed: u64) -> Vec<f64> {
 }
 
 fn bench_search(c: &mut Criterion) {
-    let opts = FitOptions { max_evals: 120, n_starts: 1 };
+    let opts = FitOptions {
+        max_evals: 120,
+        n_starts: 1,
+    };
     let mut group = c.benchmark_group("changepoint_search");
     group.sample_size(10);
     for &t in &[24usize, 43, 86] {

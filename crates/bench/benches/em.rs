@@ -23,8 +23,13 @@ fn bench_em(c: &mut Criterion) {
         group.bench_with_input(BenchmarkId::new("patients", patients), &patients, |b, _| {
             b.iter(|| {
                 black_box(
-                    MedicationModel::fit(month, ds.n_diseases, ds.n_medicines, &EmOptions::default())
-                        .log_likelihood,
+                    MedicationModel::fit(
+                        month,
+                        ds.n_diseases,
+                        ds.n_medicines,
+                        &EmOptions::default(),
+                    )
+                    .log_likelihood,
                 )
             });
         });

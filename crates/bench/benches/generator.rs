@@ -9,7 +9,11 @@ fn bench_simulation(c: &mut Criterion) {
     let mut group = c.benchmark_group("simulate_month");
     group.sample_size(10);
     for &patients in &[500usize, 2000] {
-        let spec = WorldSpec { n_patients: patients, months: 13, ..WorldSpec::default() };
+        let spec = WorldSpec {
+            n_patients: patients,
+            months: 13,
+            ..WorldSpec::default()
+        };
         let world = spec.generate();
         let sim = Simulator::new(&world, 3);
         group.bench_with_input(BenchmarkId::new("patients", patients), &patients, |b, _| {

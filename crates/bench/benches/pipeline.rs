@@ -21,7 +21,10 @@ fn bench_pipeline(c: &mut Criterion) {
     let ds = Simulator::new(&world, 42).run();
     let config = PipelineConfig {
         seasonal: false,
-        fit: FitOptions { max_evals: 120, n_starts: 1 },
+        fit: FitOptions {
+            max_evals: 120,
+            n_starts: 1,
+        },
         threads: 1,
         ..Default::default()
     };

@@ -158,13 +158,25 @@ pub enum MarketEvent {
     /// A brand-new medicine enters the market (Fig. 3b, Fig. 6c). The
     /// medicine's `release_month` encodes the date; this event additionally
     /// lets incumbent medicines for the same diseases lose share.
-    NewMedicine { medicine: MedicineId, displaces: Vec<MedicineId>, share_shift: f64 },
+    NewMedicine {
+        medicine: MedicineId,
+        displaces: Vec<MedicineId>,
+        share_shift: f64,
+    },
     /// Generic copies of `original` enter; prescriptions shift from the
     /// original to the generics over an adoption ramp (Fig. 6d, Fig. 8).
-    GenericEntry { original: MedicineId, generics: Vec<MedicineId>, month: Month },
+    GenericEntry {
+        original: MedicineId,
+        generics: Vec<MedicineId>,
+        month: Month,
+    },
     /// A price revision at `month` scales the medicine's propensity by
     /// `factor` from then on (a discount, factor > 1, increases use).
-    PriceRevision { medicine: MedicineId, month: Month, factor: f64 },
+    PriceRevision {
+        medicine: MedicineId,
+        month: Month,
+        factor: f64,
+    },
 }
 
 /// Hospital size class, by bed count (paper Section VII-C):
@@ -188,7 +200,11 @@ impl HospitalClass {
 
     /// All classes, in ascending size order.
     pub fn all() -> [HospitalClass; 3] {
-        [HospitalClass::Small, HospitalClass::Medium, HospitalClass::Large]
+        [
+            HospitalClass::Small,
+            HospitalClass::Medium,
+            HospitalClass::Large,
+        ]
     }
 }
 

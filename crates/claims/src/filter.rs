@@ -29,7 +29,9 @@ pub struct FrequencyFilter {
 
 impl Default for FrequencyFilter {
     fn default() -> Self {
-        FrequencyFilter { min_monthly_count: 5 }
+        FrequencyFilter {
+            min_monthly_count: 5,
+        }
     }
 }
 
@@ -87,8 +89,12 @@ impl FrequencyFilter {
         let vocab = self.vocabulary(month, n_diseases, n_medicines);
         let mut records = Vec::with_capacity(month.records.len());
         for r in &month.records {
-            let diseases: Vec<(DiseaseId, u32)> =
-                r.diseases.iter().copied().filter(|&(d, _)| vocab.keeps_disease(d)).collect();
+            let diseases: Vec<(DiseaseId, u32)> = r
+                .diseases
+                .iter()
+                .copied()
+                .filter(|&(d, _)| vocab.keeps_disease(d))
+                .collect();
             if diseases.is_empty() {
                 continue;
             }
@@ -100,11 +106,13 @@ impl FrequencyFilter {
                 }
                 medicines.push(m);
                 let link = r.truth_links[l];
-                truth_links.push(if vocab.keeps_disease(link) && diseases.iter().any(|&(d, _)| d == link) {
-                    link
-                } else {
-                    UNKNOWN_DISEASE
-                });
+                truth_links.push(
+                    if vocab.keeps_disease(link) && diseases.iter().any(|&(d, _)| d == link) {
+                        link
+                    } else {
+                        UNKNOWN_DISEASE
+                    },
+                );
             }
             records.push(MicRecord {
                 patient: r.patient,
@@ -114,7 +122,13 @@ impl FrequencyFilter {
                 truth_links,
             });
         }
-        (MonthlyDataset { month: month.month, records }, vocab)
+        (
+            MonthlyDataset {
+                month: month.month,
+                records,
+            },
+            vocab,
+        )
     }
 }
 
@@ -127,14 +141,20 @@ mod tests {
         MicRecord {
             patient: PatientId(0),
             hospital: HospitalId(0),
-            diseases: diseases.into_iter().map(|(d, n)| (DiseaseId(d), n)).collect(),
+            diseases: diseases
+                .into_iter()
+                .map(|(d, n)| (DiseaseId(d), n))
+                .collect(),
             medicines: meds.into_iter().map(MedicineId).collect(),
             truth_links: truth.into_iter().map(DiseaseId).collect(),
         }
     }
 
     fn month_of(records: Vec<MicRecord>) -> MonthlyDataset {
-        MonthlyDataset { month: Month(0), records }
+        MonthlyDataset {
+            month: Month(0),
+            records,
+        }
     }
 
     #[test]
@@ -147,7 +167,9 @@ mod tests {
         }
         records.push(record(vec![(0, 1), (1, 2)], vec![1], vec![1]));
         let month = month_of(records);
-        let filter = FrequencyFilter { min_monthly_count: 5 };
+        let filter = FrequencyFilter {
+            min_monthly_count: 5,
+        };
         let (filtered, vocab) = filter.filter_month(&month, 2, 2);
         assert!(vocab.keeps_disease(DiseaseId(0)));
         assert!(!vocab.keeps_disease(DiseaseId(1)));
@@ -185,7 +207,11 @@ mod tests {
         records.push(record(vec![(1, 1)], vec![], vec![]));
         let month = month_of(records);
         let (filtered, _) = FrequencyFilter::default().filter_month(&month, 2, 1);
-        assert_eq!(filtered.records.len(), 6, "record with only rare disease dropped");
+        assert_eq!(
+            filtered.records.len(),
+            6,
+            "record with only rare disease dropped"
+        );
     }
 
     #[test]
@@ -200,7 +226,9 @@ mod tests {
     #[test]
     fn zero_threshold_keeps_everything() {
         let month = month_of(vec![record(vec![(0, 1)], vec![0], vec![0])]);
-        let filter = FrequencyFilter { min_monthly_count: 0 };
+        let filter = FrequencyFilter {
+            min_monthly_count: 0,
+        };
         let (filtered, vocab) = filter.filter_month(&month, 1, 1);
         assert_eq!(filtered.records.len(), 1);
         assert!(vocab.keeps_disease(DiseaseId(0)));

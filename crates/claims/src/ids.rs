@@ -102,7 +102,10 @@ pub struct YearMonth {
 impl YearMonth {
     /// Construct, validating `month ∈ 1..=12`.
     pub fn new(year: i32, month: u8) -> YearMonth {
-        assert!((1..=12).contains(&month), "calendar month must be 1..=12, got {month}");
+        assert!(
+            (1..=12).contains(&month),
+            "calendar month must be 1..=12, got {month}"
+        );
         YearMonth { year, month }
     }
 
@@ -114,7 +117,10 @@ impl YearMonth {
     /// Calendar month `k` months after `self`.
     pub fn plus(self, k: u32) -> YearMonth {
         let total = (self.year as i64) * 12 + (self.month as i64 - 1) + k as i64;
-        YearMonth { year: (total.div_euclid(12)) as i32, month: (total.rem_euclid(12) + 1) as u8 }
+        YearMonth {
+            year: (total.div_euclid(12)) as i32,
+            month: (total.rem_euclid(12) + 1) as u8,
+        }
     }
 
     /// Zero-based month-of-year (0 = January), for seasonal profiles.

@@ -56,8 +56,8 @@ pub use catalog::{
     MedicineClass,
 };
 pub use filter::{FilteredVocabulary, FrequencyFilter};
-pub use query::DatasetIndex;
 pub use ids::{CityId, DiseaseId, HospitalId, MedicineId, Month, PatientId, YearMonth};
+pub use query::DatasetIndex;
 pub use record::{ClaimsDataset, MicRecord, MonthlyDataset};
 pub use seasonality::{OutbreakEvent, SeasonalProfile};
 pub use simulate::Simulator;

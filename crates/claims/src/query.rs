@@ -37,11 +37,17 @@ impl<'a> DatasetIndex<'a> {
             for r in &month.records {
                 seen.insert(r.patient);
                 for &(d, _) in &r.diseases {
-                    patients_by_disease.entry(d.0).or_default().insert(r.patient);
+                    patients_by_disease
+                        .entry(d.0)
+                        .or_default()
+                        .insert(r.patient);
                     by_disease.entry(d.0).or_default().insert(r.patient);
                 }
                 for &m in &r.medicines {
-                    patients_by_medicine.entry(m.0).or_default().insert(r.patient);
+                    patients_by_medicine
+                        .entry(m.0)
+                        .or_default()
+                        .insert(r.patient);
                 }
             }
             patients_by_month.push(seen);
@@ -202,15 +208,20 @@ impl<'a> DatasetIndex<'a> {
 mod tests {
     use super::*;
     use crate::catalog::{DiseaseKind, MedicineClass};
+    use crate::ids::YearMonth;
     use crate::seasonality::SeasonalProfile;
     use crate::simulate::Simulator;
     use crate::world::WorldBuilder;
-    use crate::ids::YearMonth;
 
     fn cohort_world() -> (crate::world::World, ClaimsDataset) {
         let mut b = WorldBuilder::new(YearMonth::paper_start(), 15);
         let diabetes = b.disease("diabetes", DiseaseKind::Chronic, 1.0, SeasonalProfile::Flat);
-        let neuropathy = b.disease("neuropathy", DiseaseKind::Chronic, 1.0, SeasonalProfile::Flat);
+        let neuropathy = b.disease(
+            "neuropathy",
+            DiseaseKind::Chronic,
+            1.0,
+            SeasonalProfile::Flat,
+        );
         let cold = b.disease("cold", DiseaseKind::Viral, 2.0, SeasonalProfile::Flat);
         let insulin = b.medicine("insulin", MedicineClass::Other);
         let gabapentin = b.medicine("gabapentin", MedicineClass::Other);
@@ -242,7 +253,11 @@ mod tests {
         let diabetics = idx.patients_with_disease(DiseaseId(0));
         // Patients 0..199 carry diabetes; with visit prob 0.9 over 15
         // months, essentially all should appear.
-        assert!(diabetics.len() >= 195 && diabetics.len() <= 200, "{}", diabetics.len());
+        assert!(
+            diabetics.len() >= 195 && diabetics.len() <= 200,
+            "{}",
+            diabetics.len()
+        );
         assert!(diabetics.iter().all(|p| p.0 < 200));
         let insulin_users = idx.patients_with_medicine(MedicineId(0));
         assert!(insulin_users.iter().all(|p| p.0 < 200));
@@ -261,8 +276,14 @@ mod tests {
         // everyone, lift ≈ 1).
         let lift_dn = idx.comorbidity_lift(DiseaseId(0), DiseaseId(1));
         let lift_dc = idx.comorbidity_lift(DiseaseId(0), DiseaseId(2));
-        assert!((lift_dn - 1.5).abs() < 0.1, "diabetes-neuropathy lift = {lift_dn}");
-        assert!((lift_dc - 1.0).abs() < 0.1, "diabetes-cold lift = {lift_dc}");
+        assert!(
+            (lift_dn - 1.5).abs() < 0.1,
+            "diabetes-neuropathy lift = {lift_dn}"
+        );
+        assert!(
+            (lift_dc - 1.0).abs() < 0.1,
+            "diabetes-cold lift = {lift_dc}"
+        );
         assert!(lift_dn > lift_dc);
     }
 

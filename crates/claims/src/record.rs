@@ -48,7 +48,10 @@ impl MicRecord {
 
     /// Diagnosis count of a specific disease (`N_rd`), 0 if absent.
     pub fn disease_count(&self, d: DiseaseId) -> u32 {
-        self.diseases.iter().find(|&&(id, _)| id == d).map_or(0, |&(_, n)| n)
+        self.diseases
+            .iter()
+            .find(|&&(id, _)| id == d)
+            .map_or(0, |&(_, n)| n)
     }
 
     /// True when the record is structurally consistent: non-empty disease
@@ -162,7 +165,8 @@ impl ClaimsDataset {
                 return Err(format!("month {i} labelled {}", month.month));
             }
             for (j, r) in month.records.iter().enumerate() {
-                r.validate().map_err(|e| format!("month {i} record {j}: {e}"))?;
+                r.validate()
+                    .map_err(|e| format!("month {i} record {j}: {e}"))?;
             }
         }
         Ok(())
@@ -233,7 +237,10 @@ mod tests {
 
     #[test]
     fn monthly_frequencies() {
-        let month = MonthlyDataset { month: Month(0), records: vec![sample_record(), sample_record()] };
+        let month = MonthlyDataset {
+            month: Month(0),
+            records: vec![sample_record(), sample_record()],
+        };
         let df = month.disease_frequencies(5);
         assert_eq!(df[0], 4);
         assert_eq!(df[3], 2);
@@ -248,8 +255,14 @@ mod tests {
         let ds = ClaimsDataset {
             start: YearMonth::paper_start(),
             months: vec![
-                MonthlyDataset { month: Month(0), records: vec![] },
-                MonthlyDataset { month: Month(1), records: vec![] },
+                MonthlyDataset {
+                    month: Month(0),
+                    records: vec![],
+                },
+                MonthlyDataset {
+                    month: Month(1),
+                    records: vec![],
+                },
             ],
             n_diseases: 5,
             n_medicines: 10,
@@ -265,7 +278,10 @@ mod tests {
     fn dataset_validation_checks_month_labels() {
         let ds = ClaimsDataset {
             start: YearMonth::paper_start(),
-            months: vec![MonthlyDataset { month: Month(3), records: vec![] }],
+            months: vec![MonthlyDataset {
+                month: Month(3),
+                records: vec![],
+            }],
             n_diseases: 1,
             n_medicines: 1,
         };

@@ -16,9 +16,17 @@ pub enum SeasonalProfile {
     /// (0 = January) whose width is controlled by `sharpness` (higher =
     /// narrower) and height by `amplitude` (multiplier at the peak is
     /// `1 + amplitude`).
-    Annual { peak_month0: u32, amplitude: f64, sharpness: f64 },
+    Annual {
+        peak_month0: u32,
+        amplitude: f64,
+        sharpness: f64,
+    },
     /// Two annual peaks (e.g. diarrhea at the season changes, Fig. 6b).
-    BiAnnual { peaks0: [u32; 2], amplitude: f64, sharpness: f64 },
+    BiAnnual {
+        peaks0: [u32; 2],
+        amplitude: f64,
+        sharpness: f64,
+    },
     /// Explicit multiplier per calendar month (must have 12 entries, all
     /// non-negative).
     Custom(Vec<f64>),
@@ -31,12 +39,18 @@ impl SeasonalProfile {
         assert!(m0 < 12, "month-of-year must be 0..12, got {m0}");
         match self {
             SeasonalProfile::Flat => 1.0,
-            SeasonalProfile::Annual { peak_month0, amplitude, sharpness } => {
-                1.0 + amplitude * peak_kernel(m0, *peak_month0, *sharpness)
-            }
-            SeasonalProfile::BiAnnual { peaks0, amplitude, sharpness } => {
-                let k = peak_kernel(m0, peaks0[0], *sharpness)
-                    + peak_kernel(m0, peaks0[1], *sharpness);
+            SeasonalProfile::Annual {
+                peak_month0,
+                amplitude,
+                sharpness,
+            } => 1.0 + amplitude * peak_kernel(m0, *peak_month0, *sharpness),
+            SeasonalProfile::BiAnnual {
+                peaks0,
+                amplitude,
+                sharpness,
+            } => {
+                let k =
+                    peak_kernel(m0, peaks0[0], *sharpness) + peak_kernel(m0, peaks0[1], *sharpness);
                 1.0 + amplitude * k
             }
             SeasonalProfile::Custom(values) => {
@@ -96,7 +110,11 @@ mod tests {
 
     #[test]
     fn annual_peaks_at_peak_month() {
-        let p = SeasonalProfile::Annual { peak_month0: 1, amplitude: 4.0, sharpness: 3.0 };
+        let p = SeasonalProfile::Annual {
+            peak_month0: 1,
+            amplitude: 4.0,
+            sharpness: 3.0,
+        };
         let at_peak = p.multiplier(1);
         assert!((at_peak - 5.0).abs() < 1e-12, "peak multiplier {at_peak}");
         for m in 0..12 {
@@ -110,15 +128,26 @@ mod tests {
     #[test]
     fn annual_wraps_circularly() {
         // Peak in December: January should be nearly as high as November.
-        let p = SeasonalProfile::Annual { peak_month0: 11, amplitude: 2.0, sharpness: 2.0 };
+        let p = SeasonalProfile::Annual {
+            peak_month0: 11,
+            amplitude: 2.0,
+            sharpness: 2.0,
+        };
         let jan = p.multiplier(0);
         let nov = p.multiplier(10);
-        assert!((jan - nov).abs() < 1e-12, "circular symmetry: {jan} vs {nov}");
+        assert!(
+            (jan - nov).abs() < 1e-12,
+            "circular symmetry: {jan} vs {nov}"
+        );
     }
 
     #[test]
     fn biannual_has_two_peaks() {
-        let p = SeasonalProfile::BiAnnual { peaks0: [3, 9], amplitude: 3.0, sharpness: 4.0 };
+        let p = SeasonalProfile::BiAnnual {
+            peaks0: [3, 9],
+            amplitude: 3.0,
+            sharpness: 4.0,
+        };
         let spring = p.multiplier(3);
         let autumn = p.multiplier(9);
         let summer = p.multiplier(6);
@@ -144,7 +173,11 @@ mod tests {
 
     #[test]
     fn outbreak_only_hits_its_cell() {
-        let e = OutbreakEvent { disease: DiseaseId(2), month: Month(10), magnitude: 3.0 };
+        let e = OutbreakEvent {
+            disease: DiseaseId(2),
+            month: Month(10),
+            magnitude: 3.0,
+        };
         assert_eq!(e.multiplier_at(DiseaseId(2), Month(10)), 3.0);
         assert_eq!(e.multiplier_at(DiseaseId(2), Month(11)), 1.0);
         assert_eq!(e.multiplier_at(DiseaseId(1), Month(10)), 1.0);

@@ -67,12 +67,19 @@ impl<'w> Simulator<'w> {
         let acute_total: f64 = acute_weights.iter().sum();
         // Seasonal pressure: how much more acute illness than baseline this
         // month carries (drives winter visit surges).
-        let base_total: f64 = acute.iter().map(|&d| w.diseases[d.index()].base_prevalence).sum();
-        let pressure = if base_total > 0.0 { acute_total / base_total } else { 1.0 };
+        let base_total: f64 = acute
+            .iter()
+            .map(|&d| w.diseases[d.index()].base_prevalence)
+            .sum();
+        let pressure = if base_total > 0.0 {
+            acute_total / base_total
+        } else {
+            1.0
+        };
 
         // Per-month medication-weight cache: (disease, class, city) → weights.
-        let mut cache: HashMap<(DiseaseId, u8, CityId), (Vec<crate::ids::MedicineId>, Vec<f64>)> =
-            HashMap::new();
+        type MedWeights = (Vec<crate::ids::MedicineId>, Vec<f64>);
+        let mut cache: HashMap<(DiseaseId, u8, CityId), MedWeights> = HashMap::new();
 
         let mut records = Vec::new();
         for patient in &w.patients {
@@ -87,7 +94,10 @@ impl<'w> Simulator<'w> {
                 patient.hospitals[sample_categorical(&mut rng, &weights)].0
             };
             let hosp = &w.hospitals[hospital.index()];
-            let ctx = PrescribeContext { class: hosp.class(), city: hosp.city };
+            let ctx = PrescribeContext {
+                class: hosp.class(),
+                city: hosp.city,
+            };
 
             // --- Disease bag ---
             let mut bag: Vec<(DiseaseId, u32)> = Vec::new();
@@ -118,7 +128,10 @@ impl<'w> Simulator<'w> {
                 let key = (d, ctx.class as u8, ctx.city);
                 let (meds, weights) = cache.entry(key).or_insert_with(|| {
                     let mw = w.medication_weights(d, t, ctx);
-                    (mw.iter().map(|&(m, _)| m).collect(), mw.iter().map(|&(_, w)| w).collect())
+                    (
+                        mw.iter().map(|&(m, _)| m).collect(),
+                        mw.iter().map(|&(_, w)| w).collect(),
+                    )
                 });
                 if meds.is_empty() {
                     continue;
@@ -149,9 +162,9 @@ impl<'w> Simulator<'w> {
 mod tests {
     use super::*;
     use crate::catalog::{HospitalClass, MedicineClass};
+    use crate::ids::YearMonth;
     use crate::seasonality::SeasonalProfile;
     use crate::world::{WorldBuilder, WorldSpec};
-    use crate::ids::YearMonth;
 
     #[test]
     fn dataset_is_structurally_valid() {
@@ -178,7 +191,11 @@ mod tests {
         let world = WorldSpec::tiny().generate();
         let a = Simulator::new(&world, 5).run();
         let b = Simulator::new(&world, 6).run();
-        let identical = a.months.iter().zip(&b.months).all(|(x, y)| x.records == y.records);
+        let identical = a
+            .months
+            .iter()
+            .zip(&b.months)
+            .all(|(x, y)| x.records == y.records);
         assert!(!identical);
     }
 
@@ -241,7 +258,11 @@ mod tests {
             "influenza",
             DiseaseKind::Viral,
             1.0,
-            SeasonalProfile::Annual { peak_month0: 0, amplitude: 8.0, sharpness: 4.0 },
+            SeasonalProfile::Annual {
+                peak_month0: 0,
+                amplitude: 8.0,
+                sharpness: 4.0,
+            },
         );
         let stable = b.disease("stable", DiseaseKind::Other, 1.0, SeasonalProfile::Flat);
         let med = b.medicine("generic-med", MedicineClass::Other);
@@ -268,7 +289,10 @@ mod tests {
         let stable_jan = count(0, stable) + count(12, stable);
         let stable_jul = count(6, stable) + count(18, stable);
         let ratio = stable_jan as f64 / stable_jul.max(1) as f64;
-        assert!(ratio < 1.5 && ratio > 0.5, "stable disease should not swing: {ratio}");
+        assert!(
+            ratio < 1.5 && ratio > 0.5,
+            "stable disease should not swing: {ratio}"
+        );
     }
 
     #[test]
@@ -327,6 +351,9 @@ mod tests {
         // The paper's real data: 7.4 diseases, 4.8 medicines per record. The
         // tiny world is smaller but should be in the same regime.
         assert!(avg_d > 1.5 && avg_d < 15.0, "avg diseases/record = {avg_d}");
-        assert!(avg_m > 0.8 && avg_m < 15.0, "avg medicines/record = {avg_m}");
+        assert!(
+            avg_m > 0.8 && avg_m < 15.0,
+            "avg medicines/record = {avg_m}"
+        );
     }
 }

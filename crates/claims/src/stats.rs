@@ -72,8 +72,16 @@ impl std::fmt::Display for DatasetStats {
         writeln!(f, "records/month:         {}", self.records_per_month)?;
         writeln!(f, "diseases/month:        {}", self.diseases_per_month)?;
         writeln!(f, "medicines/month:       {}", self.medicines_per_month)?;
-        writeln!(f, "avg diseases/record:   {:.3}", self.avg_diseases_per_record)?;
-        writeln!(f, "avg medicines/record:  {:.3}", self.avg_medicines_per_record)?;
+        writeln!(
+            f,
+            "avg diseases/record:   {:.3}",
+            self.avg_diseases_per_record
+        )?;
+        writeln!(
+            f,
+            "avg medicines/record:  {:.3}",
+            self.avg_medicines_per_record
+        )?;
         writeln!(f, "distinct patients:     {}", self.distinct_patients)?;
         write!(f, "distinct hospitals:    {}", self.distinct_hospitals)
     }

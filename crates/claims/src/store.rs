@@ -25,14 +25,19 @@ use std::io::{self, BufRead, Write};
 pub enum StoreError {
     Io(io::Error),
     /// Malformed content, with a line number and description.
-    Parse { line: usize, message: String },
+    Parse {
+        line: usize,
+        message: String,
+    },
 }
 
 impl std::fmt::Display for StoreError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
             StoreError::Io(e) => write!(f, "i/o error: {e}"),
-            StoreError::Parse { line, message } => write!(f, "parse error at line {line}: {message}"),
+            StoreError::Parse { line, message } => {
+                write!(f, "parse error at line {line}: {message}")
+            }
         }
     }
 }
@@ -53,7 +58,10 @@ impl From<io::Error> for StoreError {
 }
 
 fn parse_err(line: usize, message: impl Into<String>) -> StoreError {
-    StoreError::Parse { line, message: message.into() }
+    StoreError::Parse {
+        line,
+        message: message.into(),
+    }
 }
 
 /// Serialise a dataset to a writer.
@@ -129,8 +137,12 @@ pub fn read_dataset<R: BufRead>(r: R) -> Result<ClaimsDataset, StoreError> {
     if parts.len() != 3 || parts[0] != "dims" {
         return Err(parse_err(ln, "expected `dims <n_diseases> <n_medicines>`"));
     }
-    let n_diseases: usize = parts[1].parse().map_err(|_| parse_err(ln, "bad n_diseases"))?;
-    let n_medicines: usize = parts[2].parse().map_err(|_| parse_err(ln, "bad n_medicines"))?;
+    let n_diseases: usize = parts[1]
+        .parse()
+        .map_err(|_| parse_err(ln, "bad n_diseases"))?;
+    let n_medicines: usize = parts[2]
+        .parse()
+        .map_err(|_| parse_err(ln, "bad n_medicines"))?;
 
     let mut months: Vec<MonthlyDataset> = Vec::new();
     let mut expected_records = 0usize;
@@ -147,14 +159,23 @@ pub fn read_dataset<R: BufRead>(r: R) -> Result<ClaimsDataset, StoreError> {
             if parts.len() != 2 {
                 return Err(parse_err(ln, "expected `month <t> <n_records>`"));
             }
-            let t: u32 = parts[0].parse().map_err(|_| parse_err(ln, "bad month index"))?;
-            expected_records = parts[1].parse().map_err(|_| parse_err(ln, "bad record count"))?;
+            let t: u32 = parts[0]
+                .parse()
+                .map_err(|_| parse_err(ln, "bad month index"))?;
+            expected_records = parts[1]
+                .parse()
+                .map_err(|_| parse_err(ln, "bad record count"))?;
             if t as usize != months.len() {
                 return Err(parse_err(ln, format!("month {t} out of order")));
             }
-            months.push(MonthlyDataset { month: Month(t), records: Vec::with_capacity(expected_records) });
+            months.push(MonthlyDataset {
+                month: Month(t),
+                records: Vec::with_capacity(expected_records),
+            });
         } else if let Some(rest) = line.strip_prefix("r ") {
-            let month = months.last_mut().ok_or_else(|| parse_err(ln, "record before any month"))?;
+            let month = months
+                .last_mut()
+                .ok_or_else(|| parse_err(ln, "record before any month"))?;
             if expected_records == 0 {
                 return Err(parse_err(ln, "more records than declared"));
             }
@@ -167,7 +188,12 @@ pub fn read_dataset<R: BufRead>(r: R) -> Result<ClaimsDataset, StoreError> {
     if expected_records != 0 {
         return Err(parse_err(0, "file truncated: records missing"));
     }
-    Ok(ClaimsDataset { start, months, n_diseases, n_medicines })
+    Ok(ClaimsDataset {
+        start,
+        months,
+        n_diseases,
+        n_medicines,
+    })
 }
 
 fn parse_record(rest: &str, ln: usize) -> Result<MicRecord, StoreError> {
@@ -179,11 +205,21 @@ fn parse_record(rest: &str, ln: usize) -> Result<MicRecord, StoreError> {
     if head.len() != 2 {
         return Err(parse_err(ln, "record head needs patient and hospital"));
     }
-    let patient = PatientId(head[0].parse().map_err(|_| parse_err(ln, "bad patient id"))?);
-    let hospital = HospitalId(head[1].parse().map_err(|_| parse_err(ln, "bad hospital id"))?);
+    let patient = PatientId(
+        head[0]
+            .parse()
+            .map_err(|_| parse_err(ln, "bad patient id"))?,
+    );
+    let hospital = HospitalId(
+        head[1]
+            .parse()
+            .map_err(|_| parse_err(ln, "bad hospital id"))?,
+    );
     let mut diseases = Vec::new();
     for tok in sections[1].split_whitespace() {
-        let (d, n) = tok.split_once(':').ok_or_else(|| parse_err(ln, "bad disease token"))?;
+        let (d, n) = tok
+            .split_once(':')
+            .ok_or_else(|| parse_err(ln, "bad disease token"))?;
         diseases.push((
             DiseaseId(d.parse().map_err(|_| parse_err(ln, "bad disease id"))?),
             n.parse().map_err(|_| parse_err(ln, "bad disease count"))?,
@@ -191,7 +227,9 @@ fn parse_record(rest: &str, ln: usize) -> Result<MicRecord, StoreError> {
     }
     let mut medicines = Vec::new();
     for tok in sections[2].split_whitespace() {
-        medicines.push(MedicineId(tok.parse().map_err(|_| parse_err(ln, "bad medicine id"))?));
+        medicines.push(MedicineId(
+            tok.parse().map_err(|_| parse_err(ln, "bad medicine id"))?,
+        ));
     }
     let mut truth_links = Vec::new();
     for tok in sections[3].split_whitespace() {
@@ -204,7 +242,13 @@ fn parse_record(rest: &str, ln: usize) -> Result<MicRecord, StoreError> {
     if truth_links.len() != medicines.len() {
         return Err(parse_err(ln, "truth/medicine count mismatch"));
     }
-    Ok(MicRecord { patient, hospital, diseases, medicines, truth_links })
+    Ok(MicRecord {
+        patient,
+        hospital,
+        diseases,
+        medicines,
+        truth_links,
+    })
 }
 
 #[cfg(test)]
@@ -269,7 +313,7 @@ mod tests {
         // Chop off the last line.
         let text = String::from_utf8(buf).unwrap();
         let cut = text.trim_end().rfind('\n').unwrap();
-        let err = read_dataset(text[..cut].as_bytes()).unwrap_err();
+        let err = read_dataset(&text.as_bytes()[..cut]).unwrap_err();
         assert!(err.to_string().contains("truncated") || err.to_string().contains("missing"));
     }
 

@@ -130,7 +130,8 @@ impl World {
         self.indications_by_disease
             .get(d.index())
             .is_some_and(|ids| {
-                ids.iter().any(|&i| self.indications[i].medicine == m && self.indications[i].ever_valid())
+                ids.iter()
+                    .any(|&i| self.indications[i].medicine == m && self.indications[i].ever_valid())
             })
     }
 
@@ -204,7 +205,12 @@ impl World {
     fn price_factor(&self, m: MedicineId, t: Month) -> f64 {
         let mut f = 1.0;
         for e in &self.events {
-            if let MarketEvent::PriceRevision { medicine, month, factor } = e {
+            if let MarketEvent::PriceRevision {
+                medicine,
+                month,
+                factor,
+            } = e
+            {
                 if *medicine == m && t >= *month {
                     f *= factor;
                 }
@@ -218,7 +224,12 @@ impl World {
     fn displacement_factor(&self, m: MedicineId, _d: DiseaseId, t: Month) -> f64 {
         let mut f = 1.0;
         for e in &self.events {
-            if let MarketEvent::NewMedicine { medicine, displaces, share_shift } = e {
+            if let MarketEvent::NewMedicine {
+                medicine,
+                displaces,
+                share_shift,
+            } = e
+            {
                 if displaces.contains(&m) {
                     if let Some(rel) = self.medicines[medicine.index()].release_month {
                         if t >= rel {
@@ -238,7 +249,12 @@ impl World {
     /// the generics with the authorized generic taking a double share.
     fn generic_factor(&self, m: MedicineId, t: Month, city: CityId) -> f64 {
         for e in &self.events {
-            if let MarketEvent::GenericEntry { original, generics, month } = e {
+            if let MarketEvent::GenericEntry {
+                original,
+                generics,
+                month,
+            } = e
+            {
                 let city_info = &self.cities[city.index()];
                 let local_start = month.plus(city_info.generic_adoption_lag);
                 let switch = if t < local_start {
@@ -254,7 +270,13 @@ impl World {
                     // Authorized generic counts double in the share split.
                     let shares: Vec<f64> = generics
                         .iter()
-                        .map(|&g| if self.medicines[g.index()].authorized_generic { 2.0 } else { 1.0 })
+                        .map(|&g| {
+                            if self.medicines[g.index()].authorized_generic {
+                                2.0
+                            } else {
+                                1.0
+                            }
+                        })
                         .collect();
                     let total: f64 = shares.iter().sum();
                     return switch * shares[pos] / total;
@@ -375,7 +397,13 @@ impl WorldBuilder {
         since: Month,
         ramp_months: u32,
     ) -> &mut Self {
-        self.world.indications.push(Indication { disease: d, medicine: m, strength, since: Some(since), ramp_months });
+        self.world.indications.push(Indication {
+            disease: d,
+            medicine: m,
+            strength,
+            since: Some(since),
+            ramp_months,
+        });
         self
     }
 
@@ -386,7 +414,11 @@ impl WorldBuilder {
         m: MedicineId,
         weight_by_class: [f64; 3],
     ) -> &mut Self {
-        self.world.misprescriptions.push(Misprescription { disease: d, medicine: m, weight_by_class });
+        self.world.misprescriptions.push(Misprescription {
+            disease: d,
+            medicine: m,
+            weight_by_class,
+        });
         self
     }
 
@@ -403,12 +435,21 @@ impl WorldBuilder {
         factor: f64,
         ramp_months: u32,
     ) -> &mut Self {
-        self.world.prevalence_shifts.push(PrevalenceShift { disease, month, factor, ramp_months });
+        self.world.prevalence_shifts.push(PrevalenceShift {
+            disease,
+            month,
+            factor,
+            ramp_months,
+        });
         self
     }
 
     pub fn outbreak(&mut self, disease: DiseaseId, month: Month, magnitude: f64) -> &mut Self {
-        self.world.outbreaks.push(OutbreakEvent { disease, month, magnitude });
+        self.world.outbreaks.push(OutbreakEvent {
+            disease,
+            month,
+            magnitude,
+        });
         self
     }
 
@@ -425,7 +466,12 @@ impl WorldBuilder {
 
     pub fn hospital(&mut self, name: &str, city: CityId, beds: u32) -> HospitalId {
         let id = HospitalId::from(self.world.hospitals.len());
-        self.world.hospitals.push(Hospital { id, name: name.to_string(), city, beds });
+        self.world.hospitals.push(Hospital {
+            id,
+            name: name.to_string(),
+            city,
+            beds,
+        });
         id
     }
 
@@ -437,7 +483,13 @@ impl WorldBuilder {
         visit_prob: f64,
     ) -> PatientId {
         let id = PatientId::from(self.world.patients.len());
-        self.world.patients.push(Patient { id, city, hospitals, chronic, visit_prob });
+        self.world.patients.push(Patient {
+            id,
+            city,
+            hospitals,
+            chronic,
+            visit_prob,
+        });
         id
     }
 
@@ -462,12 +514,27 @@ impl WorldBuilder {
 
     /// Finish: validates invariants and builds lookup indexes.
     pub fn build(mut self) -> World {
-        assert!(!self.world.diseases.is_empty(), "world needs at least one disease");
-        assert!(!self.world.cities.is_empty(), "world needs at least one city");
-        assert!(!self.world.hospitals.is_empty(), "world needs at least one hospital");
+        assert!(
+            !self.world.diseases.is_empty(),
+            "world needs at least one disease"
+        );
+        assert!(
+            !self.world.cities.is_empty(),
+            "world needs at least one city"
+        );
+        assert!(
+            !self.world.hospitals.is_empty(),
+            "world needs at least one hospital"
+        );
         for ind in &self.world.indications {
-            assert!(ind.disease.index() < self.world.diseases.len(), "indication references unknown disease");
-            assert!(ind.medicine.index() < self.world.medicines.len(), "indication references unknown medicine");
+            assert!(
+                ind.disease.index() < self.world.diseases.len(),
+                "indication references unknown disease"
+            );
+            assert!(
+                ind.medicine.index() < self.world.medicines.len(),
+                "indication references unknown medicine"
+            );
         }
         self.world.reindex();
         self.world
@@ -551,7 +618,10 @@ impl WorldSpec {
 
     /// Generate the world.
     pub fn generate(&self) -> World {
-        assert!(self.n_diseases >= 4 && self.n_medicines >= 6, "world too small to be interesting");
+        assert!(
+            self.n_diseases >= 4 && self.n_medicines >= 6,
+            "world too small to be interesting"
+        );
         assert!(self.months >= 13, "need more than a year for seasonality");
         let mut rng = SmallRng::seed_from_u64(self.seed);
         let mut b = WorldBuilder::new(self.start, self.months);
@@ -646,7 +716,8 @@ impl WorldSpec {
                 // Rejection-sample a compatible medicine.
                 for _try in 0..40 {
                     let weights: f64 = rng.gen_range(0.0..1.0);
-                    let idx = ((weights.powf(2.0)) * self.n_medicines as f64) as usize % self.n_medicines;
+                    let idx =
+                        ((weights.powf(2.0)) * self.n_medicines as f64) as usize % self.n_medicines;
                     let m = medicine_ids[idx];
                     if !class_compatible(b.world.medicines[m.index()].class, kind) {
                         continue;
@@ -699,7 +770,11 @@ impl WorldSpec {
         for i in 0..self.n_new_medicines {
             let release = Month(rng.gen_range(event_window.0..event_window.1));
             let class = classes[rng.gen_range(0..classes.len())];
-            let m = b.new_medicine(&format!("launch-{i}-{class:?}").to_lowercase(), class, release);
+            let m = b.new_medicine(
+                &format!("launch-{i}-{class:?}").to_lowercase(),
+                class,
+                release,
+            );
             // Indicate it for 1–3 diseases; displace incumbents there.
             let mut displaces = Vec::new();
             let n_targets = rng.gen_range(1..=3usize);
@@ -712,7 +787,10 @@ impl WorldSpec {
                     let strength = sample_gamma(&mut rng, 3.0, 1.0) + 1.0;
                     b.indication(d, m, strength);
                     for ind in &b.world.indications {
-                        if ind.disease == d && ind.medicine != m && !displaces.contains(&ind.medicine) {
+                        if ind.disease == d
+                            && ind.medicine != m
+                            && !displaces.contains(&ind.medicine)
+                        {
                             displaces.push(ind.medicine);
                         }
                     }
@@ -720,7 +798,11 @@ impl WorldSpec {
                 }
             }
             let share_shift = rng.gen_range(0.2..0.5);
-            b.event(MarketEvent::NewMedicine { medicine: m, displaces, share_shift });
+            b.event(MarketEvent::NewMedicine {
+                medicine: m,
+                displaces,
+                share_shift,
+            });
         }
 
         for i in 0..self.n_generic_entries {
@@ -754,7 +836,11 @@ impl WorldSpec {
                     .collect();
                 b.world.indications.extend(mirrored);
             }
-            b.event(MarketEvent::GenericEntry { original, generics, month: entry });
+            b.event(MarketEvent::GenericEntry {
+                original,
+                generics,
+                month: entry,
+            });
         }
 
         for _ in 0..self.n_indication_expansions {
@@ -762,8 +848,17 @@ impl WorldSpec {
             for _try in 0..200 {
                 let m = medicine_ids[rng.gen_range(0..medicine_ids.len())];
                 let d = disease_ids[rng.gen_range(0..disease_ids.len())];
-                let exists = b.world.indications.iter().any(|ind| ind.disease == d && ind.medicine == m);
-                if exists || !class_compatible(b.world.medicines[m.index()].class, b.world.diseases[d.index()].kind) {
+                let exists = b
+                    .world
+                    .indications
+                    .iter()
+                    .any(|ind| ind.disease == d && ind.medicine == m);
+                if exists
+                    || !class_compatible(
+                        b.world.medicines[m.index()].class,
+                        b.world.diseases[d.index()].kind,
+                    )
+                {
                     continue;
                 }
                 let since = Month(rng.gen_range(event_window.0..event_window.1));
@@ -777,15 +872,22 @@ impl WorldSpec {
             let m = medicine_ids[rng.gen_range(0..medicine_ids.len())];
             let month = Month(rng.gen_range(event_window.0..event_window.1));
             let factor = rng.gen_range(1.1..1.6);
-            b.event(MarketEvent::PriceRevision { medicine: m, month, factor });
+            b.event(MarketEvent::PriceRevision {
+                medicine: m,
+                month,
+                factor,
+            });
         }
 
         for _ in 0..self.n_prevalence_shifts {
             let d = disease_ids[rng.gen_range(0..disease_ids.len())];
             let month = Month(rng.gen_range(event_window.0..event_window.1));
             // Either a rise or a decline in how often the disease is coded.
-            let factor =
-                if rng.gen_bool(0.5) { rng.gen_range(1.8..3.2) } else { rng.gen_range(0.3..0.6) };
+            let factor = if rng.gen_bool(0.5) {
+                rng.gen_range(1.8..3.2)
+            } else {
+                rng.gen_range(0.3..0.6)
+            };
             b.prevalence_shift(d, month, factor, rng.gen_range(4..10));
         }
 
@@ -809,8 +911,10 @@ impl WorldSpec {
             .copied()
             .filter(|d| b.world.diseases[d.index()].kind == DiseaseKind::Chronic)
             .collect();
-        let chronic_weights: Vec<f64> =
-            chronic_pool.iter().map(|d| b.world.diseases[d.index()].base_prevalence).collect();
+        let chronic_weights: Vec<f64> = chronic_pool
+            .iter()
+            .map(|d| b.world.diseases[d.index()].base_prevalence)
+            .collect();
         for _ in 0..self.n_patients {
             let city = cities[rng.gen_range(0..cities.len())];
             // Prefer hospitals in the home city.
@@ -901,7 +1005,11 @@ mod tests {
     #[test]
     fn different_seeds_differ() {
         let a = WorldSpec::tiny().generate();
-        let b = WorldSpec { seed: 99, ..WorldSpec::tiny() }.generate();
+        let b = WorldSpec {
+            seed: 99,
+            ..WorldSpec::tiny()
+        }
+        .generate();
         let same = a.indications.len() == b.indications.len()
             && a.indications.iter().zip(&b.indications).all(|(x, y)| {
                 x.disease == y.disease && x.medicine == y.medicine && x.strength == y.strength
@@ -941,7 +1049,11 @@ mod tests {
         'outer: for d in 0..w.diseases.len() {
             for m in 0..w.medicines.len() {
                 let (d, m) = (DiseaseId(d as u32), MedicineId(m as u32));
-                if !w.indications.iter().any(|i| i.disease == d && i.medicine == m) {
+                if !w
+                    .indications
+                    .iter()
+                    .any(|i| i.disease == d && i.medicine == m)
+                {
                     assert!(!w.relevant(d, m));
                     found_irrelevant = true;
                     break 'outer;
@@ -955,10 +1067,16 @@ mod tests {
     fn medication_weights_respect_release_dates() {
         let w = tiny_world();
         // Find a released medicine and an indicated disease.
-        let released: Vec<&Medicine> =
-            w.medicines.iter().filter(|m| m.release_month.is_some()).collect();
+        let released: Vec<&Medicine> = w
+            .medicines
+            .iter()
+            .filter(|m| m.release_month.is_some())
+            .collect();
         assert!(!released.is_empty());
-        let ctx = PrescribeContext { class: HospitalClass::Medium, city: CityId(0) };
+        let ctx = PrescribeContext {
+            class: HospitalClass::Medium,
+            city: CityId(0),
+        };
         for med in released {
             let rel = med.release_month.unwrap();
             // Generics additionally wait for city adoption lag; their
@@ -999,31 +1117,52 @@ mod tests {
         let small = weight_for(HospitalClass::Small);
         let medium = weight_for(HospitalClass::Medium);
         let large = weight_for(HospitalClass::Large);
-        assert!(small > medium && medium > large, "{small} > {medium} > {large} violated");
+        assert!(
+            small > medium && medium > large,
+            "{small} > {medium} > {large} violated"
+        );
     }
 
     #[test]
     fn generic_shares_shift_over_time() {
         let w = tiny_world();
         let entry = w.events.iter().find_map(|e| match e {
-            MarketEvent::GenericEntry { original, generics, month } => {
-                Some((*original, generics.clone(), *month))
-            }
+            MarketEvent::GenericEntry {
+                original,
+                generics,
+                month,
+            } => Some((*original, generics.clone(), *month)),
             _ => None,
         });
-        let Some((original, generics, month)) = entry else { return };
+        let Some((original, generics, month)) = entry else {
+            return;
+        };
         // Pick a disease the original treats.
-        let d = w.indications.iter().find(|i| i.medicine == original).map(|i| i.disease).unwrap();
+        let d = w
+            .indications
+            .iter()
+            .find(|i| i.medicine == original)
+            .map(|i| i.disease)
+            .unwrap();
         let city = CityId(0);
         let lag = w.cities[city.index()].generic_adoption_lag;
-        let ctx = PrescribeContext { class: HospitalClass::Medium, city };
+        let ctx = PrescribeContext {
+            class: HospitalClass::Medium,
+            city,
+        };
         let weight_of = |m: MedicineId, t: Month| {
-            w.medication_weights(d, t, ctx).iter().find(|&&(mm, _)| mm == m).map_or(0.0, |&(_, w)| w)
+            w.medication_weights(d, t, ctx)
+                .iter()
+                .find(|&&(mm, _)| mm == m)
+                .map_or(0.0, |&(_, w)| w)
         };
         let before = weight_of(original, Month(month.0.saturating_sub(1)));
         let late_t = Month((month.0 + lag + 12).min(w.horizon - 1));
         let late = weight_of(original, late_t);
-        assert!(late < before, "original should lose share: {late} !< {before}");
+        assert!(
+            late < before,
+            "original should lose share: {late} !< {before}"
+        );
         let generic_late: f64 = generics.iter().map(|&g| weight_of(g, late_t)).sum();
         assert!(generic_late > 0.0, "generics should gain share");
     }
@@ -1031,11 +1170,16 @@ mod tests {
     #[test]
     fn builder_world_manual() {
         let mut b = WorldBuilder::new(YearMonth::paper_start(), 24);
-        let flu = b.disease("influenza", DiseaseKind::Viral, 1.0, SeasonalProfile::Annual {
-            peak_month0: 0,
-            amplitude: 5.0,
-            sharpness: 3.0,
-        });
+        let flu = b.disease(
+            "influenza",
+            DiseaseKind::Viral,
+            1.0,
+            SeasonalProfile::Annual {
+                peak_month0: 0,
+                amplitude: 5.0,
+                sharpness: 3.0,
+            },
+        );
         let drug = b.medicine("antiviral-a", MedicineClass::Antiviral);
         b.indication(flu, drug, 2.0);
         let city = b.city("tsu", 0, 0.5);
@@ -1044,10 +1188,14 @@ mod tests {
         let w = b.build();
         assert!(w.relevant(flu, drug));
         assert_eq!(w.hospitals[0].class(), HospitalClass::Small);
-        let weights = w.medication_weights(flu, Month(0), PrescribeContext {
-            class: HospitalClass::Small,
-            city,
-        });
+        let weights = w.medication_weights(
+            flu,
+            Month(0),
+            PrescribeContext {
+                class: HospitalClass::Small,
+                city,
+            },
+        );
         assert_eq!(weights.len(), 1);
         assert_eq!(weights[0].0, drug);
     }

@@ -9,31 +9,33 @@ use proptest::prelude::*;
 
 fn small_spec() -> impl Strategy<Value = WorldSpec> {
     (
-        0u64..1000,           // seed
-        13u32..30,            // months
-        6usize..40,           // diseases
-        8usize..50,           // medicines
-        20usize..200,         // patients
-        2usize..8,            // hospitals
-        1usize..4,            // cities
+        0u64..1000,   // seed
+        13u32..30,    // months
+        6usize..40,   // diseases
+        8usize..50,   // medicines
+        20usize..200, // patients
+        2usize..8,    // hospitals
+        1usize..4,    // cities
     )
-        .prop_map(|(seed, months, n_diseases, n_medicines, n_patients, n_hospitals, n_cities)| {
-            WorldSpec {
-                seed,
-                months,
-                n_diseases: n_diseases.max(4),
-                n_medicines: n_medicines.max(6),
-                n_patients,
-                n_hospitals,
-                n_cities,
-                n_new_medicines: 1,
-                n_generic_entries: 1,
-                n_indication_expansions: 1,
-                n_price_revisions: 1,
-                n_outbreaks: 1,
-                ..WorldSpec::default()
-            }
-        })
+        .prop_map(
+            |(seed, months, n_diseases, n_medicines, n_patients, n_hospitals, n_cities)| {
+                WorldSpec {
+                    seed,
+                    months,
+                    n_diseases: n_diseases.max(4),
+                    n_medicines: n_medicines.max(6),
+                    n_patients,
+                    n_hospitals,
+                    n_cities,
+                    n_new_medicines: 1,
+                    n_generic_entries: 1,
+                    n_indication_expansions: 1,
+                    n_price_revisions: 1,
+                    n_outbreaks: 1,
+                    ..WorldSpec::default()
+                }
+            },
+        )
 }
 
 proptest! {

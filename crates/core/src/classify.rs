@@ -54,9 +54,8 @@ pub fn classify_change(
     medicine_cp: Option<usize>,
     sibling_pair_breaks: usize,
 ) -> ChangeCause {
-    let matches = |cp: Option<usize>| {
-        cp.is_some_and(|c| (c as i64 - pair_cp as i64).abs() <= MATCH_WINDOW)
-    };
+    let matches =
+        |cp: Option<usize>| cp.is_some_and(|c| (c as i64 - pair_cp as i64).abs() <= MATCH_WINDOW);
     if matches(medicine_cp) && sibling_pair_breaks >= 1 {
         ChangeCause::MedicineDerived
     } else if matches(disease_cp) {
@@ -72,8 +71,14 @@ mod tests {
 
     #[test]
     fn medicine_match_with_sibling_support_wins() {
-        assert_eq!(classify_change(10, Some(10), Some(11), 2), ChangeCause::MedicineDerived);
-        assert_eq!(classify_change(10, None, Some(13), 1), ChangeCause::MedicineDerived);
+        assert_eq!(
+            classify_change(10, Some(10), Some(11), 2),
+            ChangeCause::MedicineDerived
+        );
+        assert_eq!(
+            classify_change(10, None, Some(13), 1),
+            ChangeCause::MedicineDerived
+        );
     }
 
     #[test]
@@ -81,32 +86,62 @@ mod tests {
         // The Fig. 7a situation: the pair's own mass lifts the medicine
         // marginal, but no sibling pair broke — a new indication, not a new
         // medicine.
-        assert_eq!(classify_change(10, None, Some(11), 0), ChangeCause::PrescriptionDerived);
+        assert_eq!(
+            classify_change(10, None, Some(11), 0),
+            ChangeCause::PrescriptionDerived
+        );
     }
 
     #[test]
     fn disease_match_when_medicine_far() {
-        assert_eq!(classify_change(10, Some(9), Some(30), 5), ChangeCause::DiseaseDerived);
-        assert_eq!(classify_change(10, Some(7), None, 0), ChangeCause::DiseaseDerived);
+        assert_eq!(
+            classify_change(10, Some(9), Some(30), 5),
+            ChangeCause::DiseaseDerived
+        );
+        assert_eq!(
+            classify_change(10, Some(7), None, 0),
+            ChangeCause::DiseaseDerived
+        );
     }
 
     #[test]
     fn prescription_derived_when_neither_matches() {
-        assert_eq!(classify_change(10, None, None, 0), ChangeCause::PrescriptionDerived);
-        assert_eq!(classify_change(10, Some(25), Some(2), 3), ChangeCause::PrescriptionDerived);
+        assert_eq!(
+            classify_change(10, None, None, 0),
+            ChangeCause::PrescriptionDerived
+        );
+        assert_eq!(
+            classify_change(10, Some(25), Some(2), 3),
+            ChangeCause::PrescriptionDerived
+        );
     }
 
     #[test]
     fn window_boundary() {
-        assert_eq!(classify_change(10, None, Some(13), 1), ChangeCause::MedicineDerived);
-        assert_eq!(classify_change(10, None, Some(14), 1), ChangeCause::PrescriptionDerived);
-        assert_eq!(classify_change(10, None, Some(7), 1), ChangeCause::MedicineDerived);
-        assert_eq!(classify_change(10, None, Some(6), 1), ChangeCause::PrescriptionDerived);
+        assert_eq!(
+            classify_change(10, None, Some(13), 1),
+            ChangeCause::MedicineDerived
+        );
+        assert_eq!(
+            classify_change(10, None, Some(14), 1),
+            ChangeCause::PrescriptionDerived
+        );
+        assert_eq!(
+            classify_change(10, None, Some(7), 1),
+            ChangeCause::MedicineDerived
+        );
+        assert_eq!(
+            classify_change(10, None, Some(6), 1),
+            ChangeCause::PrescriptionDerived
+        );
     }
 
     #[test]
     fn display() {
         assert_eq!(ChangeCause::MedicineDerived.to_string(), "medicine-derived");
-        assert_eq!(ChangeCause::PrescriptionDerived.to_string(), "prescription-derived");
+        assert_eq!(
+            ChangeCause::PrescriptionDerived.to_string(),
+            "prescription-derived"
+        );
     }
 }

@@ -61,8 +61,11 @@ pub fn event_study(
     } else {
         StructuralSpec::with_intervention(event_month)
     };
-    let base_spec =
-        if seasonal { StructuralSpec::with_seasonal() } else { StructuralSpec::local_level() };
+    let base_spec = if seasonal {
+        StructuralSpec::with_seasonal()
+    } else {
+        StructuralSpec::local_level()
+    };
     // Same-data comparison: both fits skip the base burn-in plus one
     // equalising innovation (the intervention's identifying one / a neutral
     // slot), exactly like the change-point search.
@@ -74,9 +77,14 @@ pub fn event_study(
     };
     let baseline =
         mic_statespace::estimate::fit_structural_with_skip(ys, base_spec, opts, lead + 1, &[]);
-    let lambda_ci = fit.lambda_confidence(ys, 1.96).expect("intervention model has λ");
+    let lambda_ci = fit
+        .lambda_confidence(ys, 1.96)
+        .expect("intervention model has λ");
     let components = fit.decompose(ys);
-    let w_last = InterventionSpec::SlopeShift { change_point: event_month }.w(n - 1);
+    let w_last = InterventionSpec::SlopeShift {
+        change_point: event_month,
+    }
+    .w(n - 1);
     EventStudy {
         event_month,
         lambda: components.lambda,
@@ -97,14 +105,21 @@ mod tests {
         let mut rng = SmallRng::seed_from_u64(seed);
         (0..n)
             .map(|t| {
-                let w = if t >= event { (t - event + 1) as f64 } else { 0.0 };
+                let w = if t >= event {
+                    (t - event + 1) as f64
+                } else {
+                    0.0
+                };
                 40.0 + slope * w + mic_stats::dist::sample_normal(&mut rng, 0.0, 1.0)
             })
             .collect()
     }
 
     fn opts() -> FitOptions {
-        FitOptions { max_evals: 250, n_starts: 1 }
+        FitOptions {
+            max_evals: 250,
+            n_starts: 1,
+        }
     }
 
     #[test]

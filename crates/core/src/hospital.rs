@@ -21,7 +21,10 @@ pub fn split_by_class(ds: &ClaimsDataset, world: &World) -> HashMap<HospitalClas
             ClaimsDataset {
                 start: ds.start,
                 months: (0..ds.horizon())
-                    .map(|t| MonthlyDataset { month: mic_claims::Month(t as u32), records: vec![] })
+                    .map(|t| MonthlyDataset {
+                        month: mic_claims::Month(t as u32),
+                        records: vec![],
+                    })
                     .collect(),
                 n_diseases: ds.n_diseases,
                 n_medicines: ds.n_medicines,
@@ -31,7 +34,9 @@ pub fn split_by_class(ds: &ClaimsDataset, world: &World) -> HashMap<HospitalClas
     for (t, month) in ds.months.iter().enumerate() {
         for r in &month.records {
             let class = world.hospitals[r.hospital.index()].class();
-            out.get_mut(&class).expect("class exists").months[t].records.push(r.clone());
+            out.get_mut(&class).expect("class exists").months[t]
+                .records
+                .push(r.clone());
         }
     }
     out
@@ -78,7 +83,11 @@ pub fn top_diseases_for_medicine(
         .map(|(d, _, series)| (d, series.iter().sum::<f64>()))
         .collect();
     let total: f64 = rows.iter().map(|&(_, v)| v).sum();
-    rows.sort_by(|a, b| b.1.partial_cmp(&a.1).expect("NaN").then_with(|| a.0.cmp(&b.0)));
+    rows.sort_by(|a, b| {
+        b.1.partial_cmp(&a.1)
+            .expect("NaN")
+            .then_with(|| a.0.cmp(&b.0))
+    });
     rows.into_iter()
         .take(k)
         .map(|(disease, v)| DiseaseShare {
@@ -91,15 +100,32 @@ pub fn top_diseases_for_medicine(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use mic_claims::{DiseaseKind, MedicineClass, SeasonalProfile, Simulator, WorldBuilder, YearMonth};
+    use mic_claims::{
+        DiseaseKind, MedicineClass, SeasonalProfile, Simulator, WorldBuilder, YearMonth,
+    };
 
     /// Build a world with an explicit misprescription channel so the
     /// Table II effect is guaranteed, then check the per-class rankings.
     fn stewardship_world() -> (mic_claims::World, ClaimsDataset) {
         let mut b = WorldBuilder::new(YearMonth::paper_start(), 15);
-        let cold = b.disease("cold-syndrome", DiseaseKind::Viral, 2.0, SeasonalProfile::Flat);
-        let bronchitis = b.disease("acute-bronchitis", DiseaseKind::Bacterial, 1.5, SeasonalProfile::Flat);
-        let sinusitis = b.disease("chronic-sinusitis", DiseaseKind::Bacterial, 1.0, SeasonalProfile::Flat);
+        let cold = b.disease(
+            "cold-syndrome",
+            DiseaseKind::Viral,
+            2.0,
+            SeasonalProfile::Flat,
+        );
+        let bronchitis = b.disease(
+            "acute-bronchitis",
+            DiseaseKind::Bacterial,
+            1.5,
+            SeasonalProfile::Flat,
+        );
+        let sinusitis = b.disease(
+            "chronic-sinusitis",
+            DiseaseKind::Bacterial,
+            1.0,
+            SeasonalProfile::Flat,
+        );
         let abx = b.medicine("antibiotic-x", MedicineClass::Antibiotic);
         let av = b.medicine("antiviral-y", MedicineClass::Antiviral);
         b.indication(bronchitis, abx, 2.0);
@@ -140,13 +166,14 @@ mod tests {
         let panels = class_panels(&ds, &world, &EmOptions::default());
         let abx = MedicineId(0);
         let cold = DiseaseId(0);
-        let ranking_for = |class: HospitalClass| {
-            top_diseases_for_medicine(&panels[&class], abx, 10)
-        };
+        let ranking_for =
+            |class: HospitalClass| top_diseases_for_medicine(&panels[&class], abx, 10);
         let small = ranking_for(HospitalClass::Small);
         let large = ranking_for(HospitalClass::Large);
         let share = |rows: &[DiseaseShare], d: DiseaseId| {
-            rows.iter().find(|r| r.disease == d).map_or(0.0, |r| r.ratio_pct)
+            rows.iter()
+                .find(|r| r.disease == d)
+                .map_or(0.0, |r| r.ratio_pct)
         };
         let small_cold = share(&small, cold);
         let large_cold = share(&large, cold);

@@ -53,7 +53,11 @@ impl Default for OutbreakConfig {
 
 /// Scan every disease series in the panel for outbreak months. Alerts are
 /// sorted by |z| descending.
-pub fn detect_outbreaks(panel: &PrescriptionPanel, n_diseases: usize, config: &OutbreakConfig) -> Vec<OutbreakAlert> {
+pub fn detect_outbreaks(
+    panel: &PrescriptionPanel,
+    n_diseases: usize,
+    config: &OutbreakConfig,
+) -> Vec<OutbreakAlert> {
     let spec = if config.seasonal {
         StructuralSpec::with_seasonal()
     } else {
@@ -83,14 +87,21 @@ pub fn detect_outbreaks(panel: &PrescriptionPanel, n_diseases: usize, config: &O
             });
         }
     }
-    alerts.sort_by(|a, b| b.z_score.abs().partial_cmp(&a.z_score.abs()).expect("NaN z"));
+    alerts.sort_by(|a, b| {
+        b.z_score
+            .abs()
+            .partial_cmp(&a.z_score.abs())
+            .expect("NaN z")
+    });
     alerts
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use mic_claims::{DiseaseKind, MedicineClass, Month, SeasonalProfile, Simulator, WorldBuilder, YearMonth};
+    use mic_claims::{
+        DiseaseKind, MedicineClass, Month, SeasonalProfile, Simulator, WorldBuilder, YearMonth,
+    };
     use mic_linkmodel::{EmOptions, MedicationModel, PanelBuilder};
 
     fn build_panel(ds: &mic_claims::ClaimsDataset) -> PrescriptionPanel {
@@ -110,7 +121,11 @@ mod tests {
             "influenza",
             DiseaseKind::Viral,
             1.0,
-            SeasonalProfile::Annual { peak_month0: 0, amplitude: 5.0, sharpness: 3.0 },
+            SeasonalProfile::Annual {
+                peak_month0: 0,
+                amplitude: 5.0,
+                sharpness: 3.0,
+            },
         );
         let stable = b.disease("stable", DiseaseKind::Other, 1.0, SeasonalProfile::Flat);
         let av = b.medicine("antiviral", MedicineClass::Antiviral);
@@ -129,7 +144,10 @@ mod tests {
         let panel = build_panel(&ds);
 
         let config = OutbreakConfig {
-            fit: FitOptions { max_evals: 200, n_starts: 1 },
+            fit: FitOptions {
+                max_evals: 200,
+                n_starts: 1,
+            },
             ..Default::default()
         };
         let alerts = detect_outbreaks(&panel, ds.n_diseases, &config);
@@ -162,11 +180,17 @@ mod tests {
         let ds = Simulator::new(&world, 23).run();
         let panel = build_panel(&ds);
         let config = OutbreakConfig {
-            fit: FitOptions { max_evals: 150, n_starts: 1 },
+            fit: FitOptions {
+                max_evals: 150,
+                n_starts: 1,
+            },
             seasonal: true,
             ..Default::default()
         };
         let alerts = detect_outbreaks(&panel, ds.n_diseases, &config);
-        assert!(alerts.len() <= 1, "quiet world should be (nearly) alert-free: {alerts:?}");
+        assert!(
+            alerts.len() <= 1,
+            "quiet world should be (nearly) alert-free: {alerts:?}"
+        );
     }
 }

@@ -23,7 +23,7 @@ where
     }
     let threads = n_threads.clamp(1, items.len());
     if threads == 1 {
-        return items.iter().map(|t| f(t)).collect();
+        return items.iter().map(&f).collect();
     }
     let next = AtomicUsize::new(0);
     let results: Vec<Mutex<Option<R>>> = (0..items.len()).map(|_| Mutex::new(None)).collect();
@@ -41,14 +41,20 @@ where
     });
     results
         .into_iter()
-        .map(|m| m.into_inner().expect("poisoned").expect("every slot filled"))
+        .map(|m| {
+            m.into_inner()
+                .expect("poisoned")
+                .expect("every slot filled")
+        })
         .collect()
 }
 
 /// A sensible default thread count: available parallelism minus one (leave a
 /// core for the OS), at least one.
 pub fn default_threads() -> usize {
-    std::thread::available_parallelism().map(|n| n.get().saturating_sub(1).max(1)).unwrap_or(1)
+    std::thread::available_parallelism()
+        .map(|n| n.get().saturating_sub(1).max(1))
+        .unwrap_or(1)
 }
 
 #[cfg(test)]
@@ -83,7 +89,6 @@ mod tests {
         let items: Vec<usize> = (0..500).collect();
         let out = parallel_map(&items, 7, |_| {
             counter.fetch_add(1, Ordering::Relaxed);
-            ()
         });
         assert_eq!(out.len(), 500);
         assert_eq!(counter.load(Ordering::Relaxed), 500);

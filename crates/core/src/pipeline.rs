@@ -87,9 +87,14 @@ pub struct TrendReport {
 impl TrendReport {
     /// Reports with a detected change point, most-significant first.
     pub fn detected(&self) -> Vec<&SeriesReport> {
-        let mut v: Vec<&SeriesReport> =
-            self.series.iter().filter(|r| r.change_point.is_some()).collect();
-        v.sort_by(|a, b| b.aic_gain().partial_cmp(&a.aic_gain()).expect("NaN gain"));
+        let mut v: Vec<&SeriesReport> = self
+            .series
+            .iter()
+            .filter(|r| r.change_point.is_some())
+            .collect();
+        // total_cmp: a NaN gain (e.g. a degenerate ±∞ AIC pair from an
+        // unsearchable series) must sort last, not panic the report.
+        v.sort_by(|a, b| b.aic_gain().total_cmp(&a.aic_gain()));
         v
     }
 
@@ -138,7 +143,9 @@ impl TrendPipeline {
         let mut builder = PanelBuilder::new(ds.n_diseases, ds.n_medicines, ds.horizon());
         for month in &ds.months {
             let (filtered, _) =
-                self.config.frequency_filter.filter_month(month, ds.n_diseases, ds.n_medicines);
+                self.config
+                    .frequency_filter
+                    .filter_month(month, ds.n_diseases, ds.n_medicines);
             let model =
                 MedicationModel::fit(&filtered, ds.n_diseases, ds.n_medicines, &self.config.em);
             builder.add_month(&filtered, &model);
@@ -149,7 +156,11 @@ impl TrendPipeline {
     /// Stage 2: change detection over every filtered series.
     pub fn detect_changes(&self, panel: &PrescriptionPanel) -> Vec<SeriesReport> {
         let keys = panel.filtered_keys(self.config.series_min_total);
-        let threads = if self.config.threads == 0 { default_threads() } else { self.config.threads };
+        let threads = if self.config.threads == 0 {
+            default_threads()
+        } else {
+            self.config.threads
+        };
         parallel_map(&keys, threads, |&key| {
             let ys = panel.series(key).expect("filtered key must have a series");
             self.analyze_series(key, ys)
@@ -193,16 +204,21 @@ impl TrendPipeline {
         for r in &series {
             by_key.insert(r.key, r);
             if let (SeriesKey::Prescription(d, m), ChangePoint::At(t)) = (r.key, r.change_point) {
-                broken_pairs_by_medicine.entry(m.0).or_default().push((d.0, t));
+                broken_pairs_by_medicine
+                    .entry(m.0)
+                    .or_default()
+                    .push((d.0, t));
             }
         }
         let mut causes = Vec::new();
         for r in &series {
             if let (SeriesKey::Prescription(d, m), ChangePoint::At(t)) = (r.key, r.change_point) {
-                let disease_cp =
-                    by_key.get(&SeriesKey::Disease(d)).and_then(|r| r.change_point.month());
-                let medicine_cp =
-                    by_key.get(&SeriesKey::Medicine(m)).and_then(|r| r.change_point.month());
+                let disease_cp = by_key
+                    .get(&SeriesKey::Disease(d))
+                    .and_then(|r| r.change_point.month());
+                let medicine_cp = by_key
+                    .get(&SeriesKey::Medicine(m))
+                    .and_then(|r| r.change_point.month());
                 let siblings = broken_pairs_by_medicine
                     .get(&m.0)
                     .map(|pairs| {
@@ -218,7 +234,11 @@ impl TrendPipeline {
                 causes.push((r.key, classify_change(t, disease_cp, medicine_cp, siblings)));
             }
         }
-        TrendReport { panel, series, causes }
+        TrendReport {
+            panel,
+            series,
+            causes,
+        }
     }
 }
 
@@ -251,7 +271,10 @@ mod tests {
     fn fast_config() -> PipelineConfig {
         PipelineConfig {
             seasonal: false, // T = 20 is too short for a 13-state model
-            fit: FitOptions { max_evals: 150, n_starts: 1 },
+            fit: FitOptions {
+                max_evals: 150,
+                n_starts: 1,
+            },
             threads: 2,
             ..Default::default()
         }
@@ -262,7 +285,10 @@ mod tests {
         let (_world, ds) = small_ds();
         let pipeline = TrendPipeline::new(fast_config());
         let report = pipeline.run(&ds);
-        assert!(!report.series.is_empty(), "some series must survive filtering");
+        assert!(
+            !report.series.is_empty(),
+            "some series must survive filtering"
+        );
         // Detection rates are valid fractions.
         let (rd, rm, rp) = report.detection_rates();
         for r in [rd, rm, rp] {
@@ -284,13 +310,17 @@ mod tests {
         // survive frequency filtering.
         let mut filtered_rx = 0usize;
         for month in &ds.months {
-            let (f, _) = pipeline
-                .config
-                .frequency_filter
-                .filter_month(month, ds.n_diseases, ds.n_medicines);
+            let (f, _) =
+                pipeline
+                    .config
+                    .frequency_filter
+                    .filter_month(month, ds.n_diseases, ds.n_medicines);
             filtered_rx += f.records.iter().map(|r| r.medicines.len()).sum::<usize>();
         }
-        let mass: f64 = panel.iter_prescriptions().map(|(_, _, s)| s.iter().sum::<f64>()).sum();
+        let mass: f64 = panel
+            .iter_prescriptions()
+            .map(|(_, _, s)| s.iter().sum::<f64>())
+            .sum();
         assert!(
             (mass - filtered_rx as f64).abs() < 1e-6 * filtered_rx as f64 + 1e-6,
             "panel mass {mass} vs filtered prescriptions {filtered_rx}"
@@ -300,8 +330,14 @@ mod tests {
     #[test]
     fn exact_and_approx_configs_agree_on_negatives() {
         let (_world, ds) = small_ds();
-        let exact_cfg = PipelineConfig { approximate_search: false, ..fast_config() };
-        let approx_cfg = PipelineConfig { approximate_search: true, ..fast_config() };
+        let exact_cfg = PipelineConfig {
+            approximate_search: false,
+            ..fast_config()
+        };
+        let approx_cfg = PipelineConfig {
+            approximate_search: true,
+            ..fast_config()
+        };
         let exact = TrendPipeline::new(exact_cfg).run(&ds);
         let approx = TrendPipeline::new(approx_cfg).run(&ds);
         assert_eq!(exact.series.len(), approx.series.len());
@@ -314,6 +350,62 @@ mod tests {
                     "{}: approx found a change the exact search rejected",
                     a.key
                 );
+            }
+        }
+    }
+
+    #[test]
+    fn detected_survives_nan_aic_gain() {
+        // A series whose search degenerated (infinite AICs on both sides)
+        // has a NaN gain; `detected()` must rank it last instead of
+        // panicking mid-sort.
+        use mic_claims::DiseaseId;
+        let mk = |d: u32, aic: f64, aic_no_change: f64| SeriesReport {
+            key: SeriesKey::Disease(DiseaseId(d)),
+            change_point: ChangePoint::At(5),
+            aic,
+            aic_no_change,
+            lambda: 1.0,
+            fits_performed: 1,
+        };
+        let report = TrendReport {
+            panel: PrescriptionPanel::empty(1, 1, 6),
+            series: vec![
+                mk(0, 100.0, 110.0),                 // gain 10
+                mk(1, f64::INFINITY, f64::INFINITY), // gain NaN
+                mk(2, 100.0, 140.0),                 // gain 40
+            ],
+            causes: Vec::new(),
+        };
+        let det = report.detected();
+        assert_eq!(det.len(), 3);
+        assert_eq!(det[0].key, SeriesKey::Disease(DiseaseId(2)));
+        assert_eq!(det[1].key, SeriesKey::Disease(DiseaseId(0)));
+        assert!(det[2].aic_gain().is_nan(), "NaN gain must sort last");
+    }
+
+    #[test]
+    fn parallel_pipeline_is_deterministic() {
+        // The scoped-thread work queue must not change results or order:
+        // thread counts 1, 2, and 8 produce identical reports.
+        let (_world, ds) = small_ds();
+        let base = TrendPipeline::new(PipelineConfig {
+            threads: 1,
+            ..fast_config()
+        })
+        .run(&ds);
+        for threads in [2usize, 8] {
+            let cfg = PipelineConfig {
+                threads,
+                ..fast_config()
+            };
+            let report = TrendPipeline::new(cfg).run(&ds);
+            assert_eq!(report.series.len(), base.series.len());
+            for (a, b) in report.series.iter().zip(&base.series) {
+                assert_eq!(a.key, b.key, "series order must be preserved");
+                assert_eq!(a.change_point, b.change_point);
+                assert_eq!(a.aic.to_bits(), b.aic.to_bits(), "{}", a.key);
+                assert_eq!(a.lambda.to_bits(), b.lambda.to_bits());
             }
         }
     }

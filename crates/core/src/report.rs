@@ -15,12 +15,19 @@ pub struct TextTable {
 
 impl TextTable {
     pub fn new<S: Into<String>>(header: Vec<S>) -> TextTable {
-        TextTable { header: header.into_iter().map(Into::into).collect(), rows: Vec::new() }
+        TextTable {
+            header: header.into_iter().map(Into::into).collect(),
+            rows: Vec::new(),
+        }
     }
 
     pub fn row<S: Into<String>>(&mut self, cells: Vec<S>) -> &mut Self {
         let cells: Vec<String> = cells.into_iter().map(Into::into).collect();
-        assert_eq!(cells.len(), self.header.len(), "row width must match header");
+        assert_eq!(
+            cells.len(),
+            self.header.len(),
+            "row width must match header"
+        );
         self.rows.push(cells);
         self
     }
@@ -106,7 +113,10 @@ pub fn detected_changes_table(reports: &[&SeriesReport], k: usize) -> TextTable 
 
 /// Format a float series compactly for console plots ("12.3 14.1 …").
 pub fn series_line(xs: &[f64]) -> String {
-    xs.iter().map(|x| format!("{x:.1}")).collect::<Vec<_>>().join(" ")
+    xs.iter()
+        .map(|x| format!("{x:.1}"))
+        .collect::<Vec<_>>()
+        .join(" ")
 }
 
 /// A crude ASCII sparkline for eyeballing a series in the terminal.
@@ -173,7 +183,8 @@ pub fn ascii_chart(series: &[(&str, &[f64])], height: usize) -> String {
         .enumerate()
         .map(|(si, (name, _))| format!("{} {name}", GLYPHS[si % GLYPHS.len()]))
         .collect();
-    let _ = std::fmt::Write::write_fmt(&mut out, format_args!("{:>12}{}\n", "", legend.join("   ")));
+    let _ =
+        std::fmt::Write::write_fmt(&mut out, format_args!("{:>12}{}\n", "", legend.join("   ")));
     out
 }
 
@@ -205,7 +216,8 @@ mod tests {
     #[test]
     fn csv_escapes() {
         let mut t = TextTable::new(vec!["x", "y"]);
-        t.row(vec!["plain", "has,comma"]).row(vec!["has\"quote", "b"]);
+        t.row(vec!["plain", "has,comma"])
+            .row(vec!["has\"quote", "b"]);
         let csv = t.to_csv();
         assert!(csv.contains("\"has,comma\""));
         assert!(csv.contains("\"has\"\"quote\""));

@@ -14,7 +14,10 @@ use mic_trend::report::TextTable;
 fn main() {
     println!("building evaluation panel (EM over 43 months)...");
     let eval = build_evaluation_panel(60);
-    let fit = FitOptions { max_evals: 150, n_starts: 1 };
+    let fit = FitOptions {
+        max_evals: 150,
+        n_starts: 1,
+    };
 
     let groups: Vec<(&str, Vec<mic_linkmodel::SeriesKey>)> = vec![
         ("disease", eval.diseases.clone()),
@@ -22,11 +25,20 @@ fn main() {
         ("prescription", eval.prescriptions.clone()),
     ];
 
-    let mut table =
-        TextTable::new(vec!["series type", "n", "AIC detections", "BIC detections", "BIC ⊆ AIC"]);
+    let mut table = TextTable::new(vec![
+        "series type",
+        "n",
+        "AIC detections",
+        "BIC detections",
+        "BIC ⊆ AIC",
+    ]);
     let mut subset_everywhere = true;
     for (name, keys) in &groups {
-        println!("searching {} {} series under AIC and BIC...", keys.len(), name);
+        println!(
+            "searching {} {} series under AIC and BIC...",
+            keys.len(),
+            name
+        );
         let mut aic_hits = 0;
         let mut bic_hits = 0;
         let mut subset = true;
@@ -50,13 +62,21 @@ fn main() {
             keys.len().to_string(),
             aic_hits.to_string(),
             bic_hits.to_string(),
-            if subset { "yes".to_string() } else { "NO".to_string() },
+            if subset {
+                "yes".to_string()
+            } else {
+                "NO".to_string()
+            },
         ]);
     }
     section("Ablation — selection criterion for change-point detection");
     emit_table("ablation_criterion", &table);
     println!(
         "shape check (BIC detections ⊆ AIC detections): {}",
-        if subset_everywhere { "HOLDS" } else { "VIOLATED" }
+        if subset_everywhere {
+            "HOLDS"
+        } else {
+            "VIOLATED"
+        }
     );
 }

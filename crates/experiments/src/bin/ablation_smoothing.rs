@@ -37,7 +37,10 @@ fn main() {
             if held.is_empty() {
                 continue;
             }
-            let opts = EmOptions { smoothing, ..EmOptions::default() };
+            let opts = EmOptions {
+                smoothing,
+                ..EmOptions::default()
+            };
             let model = MedicationModel::fit(&train, ds.n_diseases, ds.n_medicines, &opts);
             let cooc = CooccurrenceModel::fit(&train, ds.n_diseases, ds.n_medicines, smoothing);
             let pm = perplexity(&model, month, &held);

@@ -31,7 +31,8 @@ fn main() {
             scenario.hypertension,
             scenario.analgesic,
         ));
-        let model = MedicationModel::fit(month, ds.n_diseases, ds.n_medicines, &EmOptions::default());
+        let model =
+            MedicationModel::fit(month, ds.n_diseases, ds.n_medicines, &EmOptions::default());
         builder.add_month(month, &model);
     }
     let panel = builder.build();
@@ -54,14 +55,26 @@ fn main() {
     let mean = |xs: &[f64]| xs.iter().sum::<f64>() / xs.len() as f64;
     let mut table = TextTable::new(vec!["method", "medicine", "mean monthly count"]);
     table
-        .row(vec!["cooccurrence".into(), "depressor".into(), format!("{:.1}", mean(&cooc_depressor))])
+        .row(vec![
+            "cooccurrence".into(),
+            "depressor".into(),
+            format!("{:.1}", mean(&cooc_depressor)),
+        ])
         .row(vec![
             "cooccurrence".into(),
             "analgesic".into(),
             format!("{:.1}", mean(&cooc_analgesic)),
         ])
-        .row(vec!["proposed".into(), "depressor".into(), format!("{:.1}", mean(ours_depressor))])
-        .row(vec!["proposed".into(), "analgesic".into(), format!("{:.1}", mean(ours_analgesic))]);
+        .row(vec![
+            "proposed".into(),
+            "depressor".into(),
+            format!("{:.1}", mean(ours_depressor)),
+        ])
+        .row(vec![
+            "proposed".into(),
+            "analgesic".into(),
+            format!("{:.1}", mean(ours_analgesic)),
+        ]);
     emit_table("fig2_missing_links", &table);
 
     // The paper's shape: cooccurrence ranks the analgesic above the

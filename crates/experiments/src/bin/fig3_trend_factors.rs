@@ -9,7 +9,8 @@ use mic_linkmodel::{EmOptions, MedicationModel, PanelBuilder, PrescriptionPanel}
 fn reproduce(ds: &mic_claims::ClaimsDataset) -> PrescriptionPanel {
     let mut builder = PanelBuilder::new(ds.n_diseases, ds.n_medicines, ds.horizon());
     for month in &ds.months {
-        let model = MedicationModel::fit(month, ds.n_diseases, ds.n_medicines, &EmOptions::default());
+        let model =
+            MedicationModel::fit(month, ds.n_diseases, ds.n_medicines, &EmOptions::default());
         builder.add_month(month, &model);
     }
     builder.build()
@@ -21,7 +22,12 @@ fn main() {
     let ds = simulate(&s.world, 3);
     let panel = reproduce(&ds);
     section("Fig. 3a — prescriptions for seasonal diseases");
-    let pair = |d, m| panel.prescription_series(d, m).map(<[f64]>::to_vec).unwrap_or_default();
+    let pair = |d, m| {
+        panel
+            .prescription_series(d, m)
+            .map(<[f64]>::to_vec)
+            .unwrap_or_default()
+    };
     let hay = pair(s.hay_fever, s.antihistamine);
     let heat = pair(s.heatstroke, s.rehydrator);
     let flu = pair(s.influenza, s.antiviral);
@@ -29,7 +35,13 @@ fn main() {
     print_series("heatstroke / rehydration", &heat);
     print_series("influenza / anti-influenza", &flu);
     // Peak-month sanity: arg-max months modulo 12 (window starts in March).
-    let argmax = |xs: &[f64]| xs.iter().enumerate().max_by(|a, b| a.1.total_cmp(b.1)).map(|(i, _)| i).unwrap_or(0);
+    let argmax = |xs: &[f64]| {
+        xs.iter()
+            .enumerate()
+            .max_by(|a, b| a.1.total_cmp(b.1))
+            .map(|(i, _)| i)
+            .unwrap_or(0)
+    };
     println!(
         "peak months (0 = 2013-03): hay fever t={}, heatstroke t={}, influenza t={}",
         argmax(&hay),

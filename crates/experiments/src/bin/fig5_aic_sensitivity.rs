@@ -17,7 +17,11 @@ fn main() {
     let mut rng = SmallRng::seed_from_u64(42);
     let ys: Vec<f64> = (0..43)
         .map(|t| {
-            let w = if t >= true_cp { (t - true_cp + 1) as f64 } else { 0.0 };
+            let w = if t >= true_cp {
+                (t - true_cp + 1) as f64
+            } else {
+                0.0
+            };
             30.0 + 1.8 * w + mic_stats::dist::sample_normal(&mut rng, 0.0, 1.2)
         })
         .collect();
@@ -25,20 +29,29 @@ fn main() {
     section("Fig. 5a — time series with change point at t=25");
     println!("{}", mic_trend::report::sparkline(&ys));
 
-    let opts = FitOptions { max_evals: 250, n_starts: 1 };
+    let opts = FitOptions {
+        max_evals: 250,
+        n_starts: 1,
+    };
     let search = exact_change_point(&ys, false, &opts);
 
     section("Fig. 5b — AIC of models fitted with each intervention point");
     let mut table = TextTable::new(vec!["candidate t", "AIC"]);
-    let mut candidates: Vec<(usize, f64)> =
-        search.aic_by_candidate.iter().map(|(&t, &a)| (t, a)).collect();
+    let mut candidates: Vec<(usize, f64)> = search
+        .aic_by_candidate
+        .iter()
+        .map(|(&t, &a)| (t, a))
+        .collect();
     candidates.sort_by_key(|&(t, _)| t);
     for (t, aic) in &candidates {
         table.row(vec![t.to_string(), format!("{aic:.2}")]);
     }
     emit_table("fig5_aic_by_candidate", &table);
 
-    let detected = search.change_point.month().expect("clear break must be detected");
+    let detected = search
+        .change_point
+        .month()
+        .expect("clear break must be detected");
     println!("no-intervention AIC: {:.2}", search.aic_no_change);
     println!("detected change point: t={detected} (true: t={true_cp})");
 
@@ -48,8 +61,10 @@ fn main() {
     let valley = aic_at(detected);
     let left_far = aic_at(5);
     let right_far = aic_at(40);
-    let shape = (detected as i64 - true_cp as i64).abs() <= 2
-        && valley < left_far
-        && valley < right_far;
-    println!("shape check (AIC valley at true point): {}", if shape { "HOLDS" } else { "VIOLATED" });
+    let shape =
+        (detected as i64 - true_cp as i64).abs() <= 2 && valley < left_far && valley < right_far;
+    println!(
+        "shape check (AIC valley at true point): {}",
+        if shape { "HOLDS" } else { "VIOLATED" }
+    );
 }

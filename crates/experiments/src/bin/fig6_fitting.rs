@@ -14,7 +14,8 @@ use mic_statespace::{exact_change_point, FitOptions};
 fn reproduce(ds: &mic_claims::ClaimsDataset) -> PrescriptionPanel {
     let mut builder = PanelBuilder::new(ds.n_diseases, ds.n_medicines, ds.horizon());
     for month in &ds.months {
-        let model = MedicationModel::fit(month, ds.n_diseases, ds.n_medicines, &EmOptions::default());
+        let model =
+            MedicationModel::fit(month, ds.n_diseases, ds.n_medicines, &EmOptions::default());
         builder.add_month(month, &model);
     }
     builder.build()
@@ -31,18 +32,29 @@ fn show_decomposition(title: &str, ys: &[f64], seasonal: bool, opts: &FitOptions
         print_series("seasonality", &c.seasonal);
     }
     print_series("intervention", &c.intervention);
-    println!("change point: {} (lambda = {:.3})", search.change_point, c.lambda);
+    println!(
+        "change point: {} (lambda = {:.3})",
+        search.change_point, c.lambda
+    );
 }
 
 fn main() {
-    let opts = FitOptions { max_evals: 250, n_starts: 1 };
+    let opts = FitOptions {
+        max_evals: 250,
+        n_starts: 1,
+    };
 
     // (a) + (b): seasonal diseases.
     let s = seasonal_world(700);
     let ds = simulate(&s.world, 6);
     let panel = reproduce(&ds);
     let flu = panel.disease_series(s.influenza).to_vec();
-    show_decomposition("Fig. 6a — influenza (seasonality + 2015 outbreak outlier)", &flu, true, &opts);
+    show_decomposition(
+        "Fig. 6a — influenza (seasonality + 2015 outbreak outlier)",
+        &flu,
+        true,
+        &opts,
+    );
     // Outlier check: irregular at the outbreak month dominates.
     let search = exact_change_point(&flu, true, &opts);
     let comp = search.fit.decompose(&flu);
@@ -52,11 +64,20 @@ fn main() {
         "outbreak month irregular = {:.1} (max |irregular| = {:.1}) → treated as outlier: {}",
         comp.irregular[ob],
         max_irr,
-        if comp.irregular[ob] > 0.5 * max_irr { "HOLDS" } else { "VIOLATED" }
+        if comp.irregular[ob] > 0.5 * max_irr {
+            "HOLDS"
+        } else {
+            "VIOLATED"
+        }
     );
 
     let diarrhea = panel.disease_series(s.diarrhea).to_vec();
-    show_decomposition("Fig. 6b — diarrhea (two seasonal peaks per year)", &diarrhea, true, &opts);
+    show_decomposition(
+        "Fig. 6b — diarrhea (two seasonal peaks per year)",
+        &diarrhea,
+        true,
+        &opts,
+    );
 
     // (c): new medicine.
     let s = new_medicine_world(700);

@@ -16,14 +16,18 @@ use mic_trend::{classify_change, ChangeCause, PipelineConfig, TrendPipeline};
 fn reproduce(ds: &mic_claims::ClaimsDataset) -> PrescriptionPanel {
     let mut builder = PanelBuilder::new(ds.n_diseases, ds.n_medicines, ds.horizon());
     for month in &ds.months {
-        let model = MedicationModel::fit(month, ds.n_diseases, ds.n_medicines, &EmOptions::default());
+        let model =
+            MedicationModel::fit(month, ds.n_diseases, ds.n_medicines, &EmOptions::default());
         builder.add_month(month, &model);
     }
     builder.build()
 }
 
 fn main() {
-    let fit = FitOptions { max_evals: 200, n_starts: 1 };
+    let fit = FitOptions {
+        max_evals: 200,
+        n_starts: 1,
+    };
 
     // (a) New indication.
     let s = indication_world(700);
@@ -38,8 +42,10 @@ fn main() {
     let panel = reproduce(&ds);
     let key = SeriesKey::Prescription(s.asthma, s.bronchodilator);
     let pair_series = panel.series(key).expect("pair series exists").to_vec();
-    let copd_series =
-        panel.series(SeriesKey::Prescription(s.copd, s.bronchodilator)).unwrap().to_vec();
+    let copd_series = panel
+        .series(SeriesKey::Prescription(s.copd, s.bronchodilator))
+        .unwrap()
+        .to_vec();
     print_series("asthma/bronchodilator", &pair_series);
     print_series("COPD/bronchodilator (sibling)", &copd_series);
     let report = pipeline.analyze_series(key, &pair_series);
@@ -52,7 +58,10 @@ fn main() {
         .change_point
         .month()
         .is_some_and(|t| (t as i64 - s.expansion.index() as i64).abs() <= 4);
-    println!("detection check: {}", if detection_ok { "HOLDS" } else { "VIOLATED" });
+    println!(
+        "detection check: {}",
+        if detection_ok { "HOLDS" } else { "VIOLATED" }
+    );
 
     // Cause categorisation with sibling support.
     let d_report =
@@ -66,9 +75,10 @@ fn main() {
         &copd_series,
     );
     if let Some(t) = report.change_point.month() {
-        let siblings = usize::from(sibling_report.change_point.month().is_some_and(|tt| {
-            (tt as i64 - t as i64).abs() <= mic_trend::classify::MATCH_WINDOW
-        }));
+        let siblings =
+            usize::from(sibling_report.change_point.month().is_some_and(|tt| {
+                (tt as i64 - t as i64).abs() <= mic_trend::classify::MATCH_WINDOW
+            }));
         let cause = classify_change(
             t,
             d_report.change_point.month(),
@@ -78,7 +88,11 @@ fn main() {
         println!("categorised cause: {cause}");
         println!(
             "cause check (prescription-derived): {}",
-            if cause == ChangeCause::PrescriptionDerived { "HOLDS" } else { "VIOLATED" }
+            if cause == ChangeCause::PrescriptionDerived {
+                "HOLDS"
+            } else {
+                "VIOLATED"
+            }
         );
     }
 
@@ -86,9 +100,18 @@ fn main() {
     // falls, both treated with the same infusion.
     section("Fig. 7b — diagnostic shift (opposite trends for similar symptoms)");
     let mut b = WorldBuilder::new(YearMonth::paper_start(), PAPER_MONTHS);
-    let feeding =
-        b.disease("oral feeding difficulty", DiseaseKind::Other, 0.4, SeasonalProfile::Flat);
-    let dehydration = b.disease("dehydration", DiseaseKind::Other, 1.2, SeasonalProfile::Flat);
+    let feeding = b.disease(
+        "oral feeding difficulty",
+        DiseaseKind::Other,
+        0.4,
+        SeasonalProfile::Flat,
+    );
+    let dehydration = b.disease(
+        "dehydration",
+        DiseaseKind::Other,
+        1.2,
+        SeasonalProfile::Flat,
+    );
     let infusion = b.medicine("nutritional infusion", MedicineClass::Gastrointestinal);
     b.indication(feeding, infusion, 1.5);
     b.indication(dehydration, infusion, 1.5);
@@ -107,8 +130,14 @@ fn main() {
     let ds = simulate(&world, 10);
     let panel = reproduce(&ds);
     let zero = vec![0.0; ds.horizon()];
-    let rising = panel.prescription_series(feeding, infusion).unwrap_or(&zero).to_vec();
-    let falling = panel.prescription_series(dehydration, infusion).unwrap_or(&zero).to_vec();
+    let rising = panel
+        .prescription_series(feeding, infusion)
+        .unwrap_or(&zero)
+        .to_vec();
+    let falling = panel
+        .prescription_series(dehydration, infusion)
+        .unwrap_or(&zero)
+        .to_vec();
     print_series("oral feeding difficulty", &rising);
     print_series("dehydration (related1)", &falling);
 
@@ -119,9 +148,8 @@ fn main() {
         rise_report.lambda,
         shift.index()
     );
-    let mean = |xs: &[f64], r: std::ops::Range<usize>| {
-        xs[r.clone()].iter().sum::<f64>() / r.len() as f64
-    };
+    let mean =
+        |xs: &[f64], r: std::ops::Range<usize>| xs[r.clone()].iter().sum::<f64>() / r.len() as f64;
     let r_delta = mean(&rising, 25..43) - mean(&rising, 0..18);
     let f_delta = mean(&falling, 25..43) - mean(&falling, 0..18);
     println!(

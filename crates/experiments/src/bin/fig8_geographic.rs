@@ -49,7 +49,12 @@ fn main() {
     }
 
     // Shape checks.
-    let late = spread_snapshot(&panels, s.original, &s.generics, (entry + 12).min(ds.horizon() - 1));
+    let late = spread_snapshot(
+        &panels,
+        s.original,
+        &s.generics,
+        (entry + 12).min(ds.horizon() - 1),
+    );
     let auth_leads = late
         .iter()
         .filter(|r| r.generic_share() > 0.1)
@@ -59,10 +64,17 @@ fn main() {
         if auth_leads { "HOLDS" } else { "VIOLATED" }
     );
     // The hold-out city (index 5, acceptance 0.05) keeps the original.
-    let holdout = late.iter().find(|r| r.city.index() == 5).expect("city 5 exists");
+    let holdout = late
+        .iter()
+        .find(|r| r.city.index() == 5)
+        .expect("city 5 exists");
     println!(
         "hold-out city keeps the original (share {:.1}%): {}",
         100.0 * holdout.generic_share(),
-        if holdout.generic_share() < 0.2 { "HOLDS" } else { "VIOLATED" }
+        if holdout.generic_share() < 0.2 {
+            "HOLDS"
+        } else {
+            "VIOLATED"
+        }
     );
 }

@@ -45,9 +45,14 @@ fn main() {
     let mut struct_rmses = Vec::new();
     let mut arima_rmses = Vec::new();
     for (name, ys, is_seasonal) in &series {
-        let opts = ForecastOptions { seasonal: *is_seasonal, ..Default::default() };
+        let opts = ForecastOptions {
+            seasonal: *is_seasonal,
+            ..Default::default()
+        };
         let c = compare_forecasts(ys, 31, &opts);
-        section(&format!("Fig. 9 — {name} (train 31, forecast 12; normalised)"));
+        section(&format!(
+            "Fig. 9 — {name} (train 31, forecast 12; normalised)"
+        ));
         print_series("actual   ", &c.actual);
         print_series("structural", &c.structural);
         print_series("ARIMA     ", &c.arima);
@@ -55,7 +60,11 @@ fn main() {
             name.to_string(),
             format!("{:.3}", c.structural_rmse),
             format!("{:.3}", c.arima_rmse),
-            if c.structural_rmse <= c.arima_rmse { "structural".into() } else { "ARIMA".to_string() },
+            if c.structural_rmse <= c.arima_rmse {
+                "structural".into()
+            } else {
+                "ARIMA".to_string()
+            },
         ]);
         struct_rmses.push(c.structural_rmse);
         arima_rmses.push(c.arima_rmse);

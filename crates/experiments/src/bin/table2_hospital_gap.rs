@@ -20,7 +20,9 @@ fn main() {
 
     let mut viral_share = Vec::new();
     for class in HospitalClass::all() {
-        section(&format!("Table II({class}) — top 10 diseases for the antibiotic"));
+        section(&format!(
+            "Table II({class}) — top 10 diseases for the antibiotic"
+        ));
         let rows = top_diseases_for_medicine(&panels[&class], s.antibiotic, 10);
         let mut table = TextTable::new(vec!["disease", "ratio (%)"]);
         let mut vshare = 0.0;

@@ -63,8 +63,10 @@ fn main() {
     // ---- Prescription relevance over the 100 most frequent diseases ----
     let top = panel.top_diseases(100.min(ds.n_diseases));
     let relevant = |d, m| world.relevant(d, m);
-    let ours = evaluate_prescription_relevance(&panel.pair_totals(), &top, ds.n_medicines, 10, relevant);
-    let cooc_eval = evaluate_prescription_relevance(&cooc_totals, &top, ds.n_medicines, 10, relevant);
+    let ours =
+        evaluate_prescription_relevance(&panel.pair_totals(), &top, ds.n_medicines, 10, relevant);
+    let cooc_eval =
+        evaluate_prescription_relevance(&cooc_totals, &top, ds.n_medicines, 10, relevant);
 
     // ---- Render the table ----
     let mut table = TextTable::new(vec!["model", "Perplexity", "AP@10", "NDCG@10"]);
@@ -102,8 +104,15 @@ fn main() {
     println!("NDCG@10, Proposed vs Cooccurrence: {t_ndcg}, Cohen's d = {d_ndcg:.3}");
 
     // Win counts (the paper: proposed beat cooccurrence every month).
-    let wins = ppl_proposed.iter().zip(&ppl_cooc).filter(|(a, b)| a < b).count();
-    println!("monthly perplexity wins (proposed < cooccurrence): {wins}/{}", ppl_proposed.len());
+    let wins = ppl_proposed
+        .iter()
+        .zip(&ppl_cooc)
+        .filter(|(a, b)| a < b)
+        .count();
+    println!(
+        "monthly perplexity wins (proposed < cooccurrence): {wins}/{}",
+        ppl_proposed.len()
+    );
 
     let shape = Summary::of(&ppl_unigram).mean > Summary::of(&ppl_cooc).mean
         && Summary::of(&ppl_cooc).mean > Summary::of(&ppl_proposed).mean

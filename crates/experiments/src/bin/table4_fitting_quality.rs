@@ -36,7 +36,8 @@ fn analyse(eval: &EvaluationPanel, keys: &[SeriesKey], fit: &FitOptions) -> Grou
     for &key in keys {
         let ys = eval.series(key);
         g.ll.push(fit_structural(ys, StructuralSpec::local_level(), fit).aic);
-        g.ll_s.push(fit_structural(ys, StructuralSpec::with_seasonal(), fit).aic);
+        g.ll_s
+            .push(fit_structural(ys, StructuralSpec::with_seasonal(), fit).aic);
         // Intervention variants use the (approximate) automatic change-point
         // search, as the paper's pipeline does.
         let ll_i = approx_change_point(ys, false, fit);
@@ -54,7 +55,10 @@ fn analyse(eval: &EvaluationPanel, keys: &[SeriesKey], fit: &FitOptions) -> Grou
 fn main() {
     println!("building evaluation panel (EM over 43 months)...");
     let eval = build_evaluation_panel(120);
-    let fit = FitOptions { max_evals: 150, n_starts: 1 };
+    let fit = FitOptions {
+        max_evals: 150,
+        n_starts: 1,
+    };
 
     let groups: Vec<(&str, &[SeriesKey])> = vec![
         ("disease", &eval.diseases),
@@ -116,7 +120,10 @@ fn main() {
         && mean(&medicine.full) <= mean(&medicine.ll_i);
     let arima_unstable = Summary::of(&prescription.arima).sd > Summary::of(&prescription.full).sd;
     println!();
-    println!("shape check (LL worst): {}", if ll_worst { "HOLDS" } else { "VIOLATED" });
+    println!(
+        "shape check (LL worst): {}",
+        if ll_worst { "HOLDS" } else { "VIOLATED" }
+    );
     println!(
         "shape check (LL+S+I best for disease & medicine): {}",
         if full_best_dm { "HOLDS" } else { "VIOLATED" }

@@ -15,7 +15,10 @@ use std::time::Duration;
 fn main() {
     println!("building evaluation panel (EM over 43 months)...");
     let eval = build_evaluation_panel(60);
-    let fit = FitOptions { max_evals: 150, n_starts: 1 };
+    let fit = FitOptions {
+        max_evals: 150,
+        n_starts: 1,
+    };
 
     let groups: Vec<(&str, Vec<mic_linkmodel::SeriesKey>, bool)> = vec![
         ("disease", eval.diseases.clone(), true),
@@ -35,10 +38,14 @@ fn main() {
     ]);
     let mut all_rates = Vec::new();
     for (name, keys, seasonal) in &groups {
-        println!("searching {} {} series (exact + approximate)...", keys.len(), name);
+        println!(
+            "searching {} {} series (exact + approximate)...",
+            keys.len(),
+            name
+        );
         let results = compare_searches(&eval, keys, *seasonal, &fit);
         let sum = |f: &dyn Fn(&mic_experiments::comparison::SearchComparison) -> Duration| {
-            results.iter().map(|r| f(r)).sum::<Duration>()
+            results.iter().map(f).sum::<Duration>()
         };
         let exact_total = sum(&|r| r.exact_time);
         let approx_total = sum(&|r| r.approx_time);
@@ -46,7 +53,7 @@ fn main() {
         let exact_rate = exact_total.as_secs_f64() / base_total.as_secs_f64();
         let approx_rate = approx_total.as_secs_f64() / base_total.as_secs_f64();
         let mean_fits = |f: &dyn Fn(&mic_experiments::comparison::SearchComparison) -> usize| {
-            results.iter().map(|r| f(r)).sum::<usize>() as f64 / results.len().max(1) as f64
+            results.iter().map(f).sum::<usize>() as f64 / results.len().max(1) as f64
         };
         table.row(vec![
             name.to_string(),
@@ -68,7 +75,7 @@ fn main() {
     let shape = all_rates.iter().all(|&(e, a)| {
         e > 4.0 * a           // exact is several times costlier
             && (20.0..70.0).contains(&e)  // near T
-            && (3.0..14.0).contains(&a)   // near log2(T)
+            && (3.0..14.0).contains(&a) // near log2(T)
     });
     println!(
         "shape check (exact ≈ T×, approx ≈ log₂T× the base fit): {}",

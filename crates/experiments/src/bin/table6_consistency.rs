@@ -20,7 +20,10 @@ fn confusion_and_rmse(results: &[SearchComparison]) -> (Confusion2, f64, f64, f6
     let mut exact_aics = Vec::new();
     let mut approx_aics = Vec::new();
     for r in results {
-        c.record(r.exact.change_point.is_some(), r.approx.change_point.is_some());
+        c.record(
+            r.exact.change_point.is_some(),
+            r.approx.change_point.is_some(),
+        );
         if let (Some(e), Some(a)) = (r.exact.change_point.month(), r.approx.change_point.month()) {
             sq.push((e as f64 - a as f64) * (e as f64 - a as f64));
         }
@@ -32,13 +35,21 @@ fn confusion_and_rmse(results: &[SearchComparison]) -> (Confusion2, f64, f64, f6
     } else {
         (sq.iter().sum::<f64>() / sq.len() as f64).sqrt()
     };
-    (c, rmse, Summary::of(&exact_aics).mean, Summary::of(&approx_aics).mean)
+    (
+        c,
+        rmse,
+        Summary::of(&exact_aics).mean,
+        Summary::of(&approx_aics).mean,
+    )
 }
 
 fn main() {
     println!("building evaluation panel (EM over 43 months)...");
     let eval = build_evaluation_panel(60);
-    let fit = FitOptions { max_evals: 150, n_starts: 1 };
+    let fit = FitOptions {
+        max_evals: 150,
+        n_starts: 1,
+    };
 
     let groups: Vec<(&str, Vec<mic_linkmodel::SeriesKey>)> = vec![
         ("disease", eval.diseases.clone()),
@@ -50,17 +61,35 @@ fn main() {
     let mut kappas = Vec::new();
     let mut pooled = Confusion2::default();
     for (name, keys) in &groups {
-        println!("searching {} {} series (exact + approximate)...", keys.len(), name);
+        println!(
+            "searching {} {} series (exact + approximate)...",
+            keys.len(),
+            name
+        );
         let results = compare_searches(&eval, keys, true, &fit);
         let (c, rmse, exact_aic, approx_aic) = confusion_and_rmse(&results);
         section(&format!("Table VI({name}) — change point consistency"));
         let mut table = TextTable::new(vec!["", "approx pos.", "approx neg."]);
         table
-            .row(vec!["exact pos.".to_string(), c.tp.to_string(), c.fn_.to_string()])
-            .row(vec!["exact neg.".to_string(), c.fp.to_string(), c.tn.to_string()]);
+            .row(vec![
+                "exact pos.".to_string(),
+                c.tp.to_string(),
+                c.fn_.to_string(),
+            ])
+            .row(vec![
+                "exact neg.".to_string(),
+                c.fp.to_string(),
+                c.tn.to_string(),
+            ]);
         emit_table(&format!("table6_{name}"), &table);
-        println!("false-negative rate: {:.3}%", 100.0 * c.false_negative_rate());
-        println!("false-positive rate: {:.3}%", 100.0 * c.false_positive_rate());
+        println!(
+            "false-negative rate: {:.3}%",
+            100.0 * c.false_negative_rate()
+        );
+        println!(
+            "false-positive rate: {:.3}%",
+            100.0 * c.false_positive_rate()
+        );
         println!("Cohen's kappa: {:.3}", c.kappa());
         println!("RMSE of matched change points: {rmse:.3} months");
         println!("mean AIC: exact {exact_aic:.3}, approximate {approx_aic:.3}");
@@ -84,13 +113,21 @@ fn main() {
     );
     println!(
         "shape check (no false positives, structural property): {}",
-        if no_false_positives { "HOLDS" } else { "VIOLATED" }
+        if no_false_positives {
+            "HOLDS"
+        } else {
+            "VIOLATED"
+        }
     );
     // Per-group κ is unstable with only a handful of positive series (the
     // paper pooled hundreds to tens of thousands); judge agreement on the
     // pooled table.
     println!(
         "shape check (strong agreement, pooled κ > 0.7): {}",
-        if pooled.kappa() > 0.7 { "HOLDS" } else { "VIOLATED" }
+        if pooled.kappa() > 0.7 {
+            "HOLDS"
+        } else {
+            "VIOLATED"
+        }
     );
 }

@@ -65,7 +65,13 @@ pub fn build_evaluation_panel(max_prescriptions: usize) -> EvaluationPanel {
             .map(|i| prescriptions[(i as f64 * step) as usize])
             .collect();
     }
-    EvaluationPanel { dataset, panel, diseases, medicines, prescriptions }
+    EvaluationPanel {
+        dataset,
+        panel,
+        diseases,
+        medicines,
+        prescriptions,
+    }
 }
 
 /// Exact-vs-approximate search results for one series.
@@ -104,7 +110,14 @@ pub fn compare_searches(
             };
             let _ = mic_statespace::fit_structural(ys, spec, fit);
             let base_time = t2.elapsed();
-            SearchComparison { key, exact, approx, exact_time, approx_time, base_time }
+            SearchComparison {
+                key,
+                exact,
+                approx,
+                exact_time,
+                approx_time,
+                base_time,
+            }
         })
         .collect()
 }

@@ -45,8 +45,12 @@ pub struct HypertensionScenario {
 
 pub fn hypertension_world(n_patients: usize) -> HypertensionScenario {
     let mut b = WorldBuilder::new(YearMonth::paper_start(), PAPER_MONTHS);
-    let hypertension =
-        b.disease("hypertension", DiseaseKind::Chronic, 1.0, SeasonalProfile::Flat);
+    let hypertension = b.disease(
+        "hypertension",
+        DiseaseKind::Chronic,
+        1.0,
+        SeasonalProfile::Flat,
+    );
     // Arthritis is both a chronic condition and a recurring acute complaint
     // (flare-ups), so it racks up several diagnoses per record and its
     // analgesic is prescribed far more often than the depressor — the
@@ -59,7 +63,13 @@ pub fn hypertension_world(n_patients: usize) -> HypertensionScenario {
     b.rates(1.2, 2.0);
     add_population(&mut b, n_patients, &[hypertension, arthritis]);
     let world = b.build();
-    HypertensionScenario { world, hypertension, arthritis, depressor, analgesic }
+    HypertensionScenario {
+        world,
+        hypertension,
+        arthritis,
+        depressor,
+        analgesic,
+    }
 }
 
 /// Fig. 3a / Fig. 6a-b world: seasonal diseases (hay fever in spring,
@@ -85,25 +95,41 @@ pub fn seasonal_world(n_patients: usize) -> SeasonalScenario {
         "hay fever",
         DiseaseKind::Environmental,
         1.2,
-        SeasonalProfile::Annual { peak_month0: 2, amplitude: 6.0, sharpness: 4.0 },
+        SeasonalProfile::Annual {
+            peak_month0: 2,
+            amplitude: 6.0,
+            sharpness: 4.0,
+        },
     );
     let heatstroke = b.disease(
         "heatstroke",
         DiseaseKind::Environmental,
         0.6,
-        SeasonalProfile::Annual { peak_month0: 6, amplitude: 8.0, sharpness: 5.0 },
+        SeasonalProfile::Annual {
+            peak_month0: 6,
+            amplitude: 8.0,
+            sharpness: 5.0,
+        },
     );
     let influenza = b.disease(
         "influenza",
         DiseaseKind::Viral,
         0.8,
-        SeasonalProfile::Annual { peak_month0: 0, amplitude: 9.0, sharpness: 4.5 },
+        SeasonalProfile::Annual {
+            peak_month0: 0,
+            amplitude: 9.0,
+            sharpness: 4.5,
+        },
     );
     let diarrhea = b.disease(
         "diarrhea",
         DiseaseKind::Other,
         0.8,
-        SeasonalProfile::BiAnnual { peaks0: [3, 9], amplitude: 2.5, sharpness: 3.0 },
+        SeasonalProfile::BiAnnual {
+            peaks0: [3, 9],
+            amplitude: 2.5,
+            sharpness: 3.0,
+        },
     );
     let antihistamine = b.medicine("antihistamine", MedicineClass::Other);
     let rehydrator = b.medicine("rehydration salts", MedicineClass::Other);
@@ -146,9 +172,18 @@ pub struct NewMedicineScenario {
 
 pub fn new_medicine_world(n_patients: usize) -> NewMedicineScenario {
     let mut b = WorldBuilder::new(YearMonth::paper_start(), PAPER_MONTHS);
-    let osteoporosis =
-        b.disease("osteoporosis", DiseaseKind::Chronic, 1.0, SeasonalProfile::Flat);
-    let fracture = b.disease("vertebral fracture", DiseaseKind::Other, 0.5, SeasonalProfile::Flat);
+    let osteoporosis = b.disease(
+        "osteoporosis",
+        DiseaseKind::Chronic,
+        1.0,
+        SeasonalProfile::Flat,
+    );
+    let fracture = b.disease(
+        "vertebral fracture",
+        DiseaseKind::Other,
+        0.5,
+        SeasonalProfile::Flat,
+    );
     let back_pain = b.disease("back pain", DiseaseKind::Other, 0.7, SeasonalProfile::Flat);
     let incumbent_a = b.medicine("bisphosphonate-a", MedicineClass::Osteoporosis);
     let incumbent_b = b.medicine("bisphosphonate-b", MedicineClass::Osteoporosis);
@@ -158,7 +193,11 @@ pub fn new_medicine_world(n_patients: usize) -> NewMedicineScenario {
     // series keep growing to the window end, which is what makes a launch a
     // *slope* shift rather than a step.
     let release = Month(5);
-    let new_med = b.new_medicine("monthly-osteoporosis-drug", MedicineClass::Osteoporosis, release);
+    let new_med = b.new_medicine(
+        "monthly-osteoporosis-drug",
+        MedicineClass::Osteoporosis,
+        release,
+    );
     b.medicines_mut()[new_med.index()].adoption_ramp_months = PAPER_MONTHS - 5;
     b.indication(osteoporosis, incumbent_a, 2.0);
     b.indication(osteoporosis, incumbent_b, 1.5);
@@ -199,7 +238,12 @@ pub struct IndicationScenario {
 pub fn indication_world(n_patients: usize) -> IndicationScenario {
     let mut b = WorldBuilder::new(YearMonth::paper_start(), PAPER_MONTHS);
     let copd = b.disease("COPD", DiseaseKind::Chronic, 1.0, SeasonalProfile::Flat);
-    let asthma = b.disease("bronchial asthma", DiseaseKind::Chronic, 1.0, SeasonalProfile::Flat);
+    let asthma = b.disease(
+        "bronchial asthma",
+        DiseaseKind::Chronic,
+        1.0,
+        SeasonalProfile::Flat,
+    );
     let bronchodilator = b.medicine("bronchodilator-lama", MedicineClass::Bronchodilator);
     let asthma_inhaler = b.medicine("asthma-ics", MedicineClass::Bronchodilator);
     b.indication(copd, bronchodilator, 2.0);
@@ -210,7 +254,13 @@ pub fn indication_world(n_patients: usize) -> IndicationScenario {
     b.rates(1.0, 0.5);
     add_population(&mut b, n_patients, &[copd, asthma]);
     let world = b.build();
-    IndicationScenario { world, copd, asthma, bronchodilator, expansion }
+    IndicationScenario {
+        world,
+        copd,
+        asthma,
+        bronchodilator,
+        expansion,
+    }
 }
 
 /// Fig. 6d / Fig. 8 world: an anti-platelet original whose three generics
@@ -228,8 +278,12 @@ pub struct GenericScenario {
 
 pub fn generic_world(n_patients: usize) -> GenericScenario {
     let mut b = WorldBuilder::new(YearMonth::paper_start(), PAPER_MONTHS);
-    let thrombosis =
-        b.disease("cerebral infarction prophylaxis", DiseaseKind::Chronic, 1.0, SeasonalProfile::Flat);
+    let thrombosis = b.disease(
+        "cerebral infarction prophylaxis",
+        DiseaseKind::Chronic,
+        1.0,
+        SeasonalProfile::Flat,
+    );
     let original = b.medicine("anti-platelet original", MedicineClass::Antiplatelet);
     b.indication(thrombosis, original, 2.0);
     let entry = Month(18);
@@ -240,7 +294,11 @@ pub fn generic_world(n_patients: usize) -> GenericScenario {
         b.world_mut_release(g, entry);
         b.indication(thrombosis, g, 2.0);
     }
-    b.event(MarketEvent::GenericEntry { original, generics: vec![g1, g2, g3], month: entry });
+    b.event(MarketEvent::GenericEntry {
+        original,
+        generics: vec![g1, g2, g3],
+        month: entry,
+    });
     b.rates(1.1, 0.3);
     // Six cities with a spread of adoption behaviour; the last one is the
     // hold-out "northernmost" city.
@@ -256,7 +314,14 @@ pub fn generic_world(n_patients: usize) -> GenericScenario {
         b.patient(city, vec![(h, 1.0)], vec![thrombosis], 0.85);
     }
     let world = b.build();
-    GenericScenario { world, target: thrombosis, original, generics: vec![g1, g2, g3], authorized: g3, entry }
+    GenericScenario {
+        world,
+        target: thrombosis,
+        original,
+        generics: vec![g1, g2, g3],
+        authorized: g3,
+        entry,
+    }
 }
 
 /// Table II world: respiratory diseases (bacterial and viral) with an
@@ -281,11 +346,20 @@ pub fn stewardship_world(n_patients: usize) -> StewardshipScenario {
         "pharyngitis",
         "Helicobacter pylori infection",
     ];
-    let names_viral = ["acute upper respiratory inflammation", "influenza", "common cold"];
+    let names_viral = [
+        "acute upper respiratory inflammation",
+        "influenza",
+        "common cold",
+    ];
     let mut bacterial = Vec::new();
     for (i, name) in names_bacterial.iter().enumerate() {
         let prevalence = 1.2 / (i as f64 + 1.0).powf(0.5);
-        bacterial.push(b.disease(name, DiseaseKind::Bacterial, prevalence, SeasonalProfile::Flat));
+        bacterial.push(b.disease(
+            name,
+            DiseaseKind::Bacterial,
+            prevalence,
+            SeasonalProfile::Flat,
+        ));
     }
     let mut viral = Vec::new();
     for name in names_viral {
@@ -293,7 +367,11 @@ pub fn stewardship_world(n_patients: usize) -> StewardshipScenario {
             name,
             DiseaseKind::Viral,
             1.5,
-            SeasonalProfile::Annual { peak_month0: 0, amplitude: 2.0, sharpness: 2.0 },
+            SeasonalProfile::Annual {
+                peak_month0: 0,
+                amplitude: 2.0,
+                sharpness: 2.0,
+            },
         ));
     }
     let antibiotic = b.medicine("macrolide antibiotic", MedicineClass::Antibiotic);
@@ -318,7 +396,12 @@ pub fn stewardship_world(n_patients: usize) -> StewardshipScenario {
         b.patient(city, vec![(h, 1.0)], vec![], 0.8);
     }
     let world = b.build();
-    StewardshipScenario { world, antibiotic, viral, bacterial }
+    StewardshipScenario {
+        world,
+        antibiotic,
+        viral,
+        bacterial,
+    }
 }
 
 /// The evaluation world for Tables III–VI: a randomly generated world with
@@ -377,7 +460,10 @@ mod tests {
         assert!(simulate(&s.world, 1).validate().is_ok());
 
         let s = new_medicine_world(120);
-        assert_eq!(s.world.medicines[s.new_medicine.index()].release_month, Some(s.release));
+        assert_eq!(
+            s.world.medicines[s.new_medicine.index()].release_month,
+            Some(s.release)
+        );
         assert!(simulate(&s.world, 1).validate().is_ok());
 
         let s = indication_world(120);

@@ -31,7 +31,11 @@ impl UnigramModel {
                 total += 1.0;
             }
         }
-        UnigramModel { counts, total, smoothing }
+        UnigramModel {
+            counts,
+            total,
+            smoothing,
+        }
     }
 
     /// Smoothed `P(m)`.
@@ -74,7 +78,12 @@ impl CooccurrenceModel {
                 }
             }
         }
-        CooccurrenceModel { n_medicines, smoothing, rows, row_totals }
+        CooccurrenceModel {
+            n_medicines,
+            smoothing,
+            rows,
+            row_totals,
+        }
     }
 
     /// Smoothed `φ_dm` from cooccurrence counts.
@@ -92,7 +101,10 @@ impl CooccurrenceModel {
             return 0.0;
         }
         let n_r = n_r as f64;
-        diseases.iter().map(|&(d, n_rd)| (n_rd as f64 / n_r) * self.phi_prob(d, m)).sum()
+        diseases
+            .iter()
+            .map(|&(d, n_rd)| (n_rd as f64 / n_r) * self.phi_prob(d, m))
+            .sum()
     }
 
     /// Cooccurrence-based "prescription count" of pair `(d, m)` in a month:
@@ -119,7 +131,10 @@ mod tests {
         MicRecord {
             patient: PatientId(0),
             hospital: HospitalId(0),
-            diseases: diseases.into_iter().map(|(d, n)| (DiseaseId(d), n)).collect(),
+            diseases: diseases
+                .into_iter()
+                .map(|(d, n)| (DiseaseId(d), n))
+                .collect(),
             medicines: meds.into_iter().map(MedicineId).collect(),
             truth_links: truth,
         }
@@ -138,7 +153,10 @@ mod tests {
 
     #[test]
     fn unigram_smoothing_keeps_unseen_positive() {
-        let month = MonthlyDataset { month: Month(0), records: vec![record(vec![(0, 1)], vec![0])] };
+        let month = MonthlyDataset {
+            month: Month(0),
+            records: vec![record(vec![(0, 1)], vec![0])],
+        };
         let u = UnigramModel::fit(&month, 3, 0.01);
         assert!(u.prob(MedicineId(2)) > 0.0);
         let total: f64 = (0..3).map(|m| u.prob(MedicineId(m))).sum();
@@ -169,7 +187,10 @@ mod tests {
         for _ in 0..30 {
             records.push(record(vec![(1, 1)], vec![1, 1, 1]));
         }
-        let month = MonthlyDataset { month: Month(0), records };
+        let month = MonthlyDataset {
+            month: Month(0),
+            records,
+        };
         let c = CooccurrenceModel::fit(&month, 2, 2, 1e-3);
         // φ_{A, med1} = 90/120 > φ_{A, med0} = 30/120: the mis-prediction.
         assert!(

@@ -70,13 +70,16 @@ pub fn evaluate_prescription_relevance(
             .map(|(&(_, m), &total)| (MedicineId(m), total))
             .collect();
         ranked.sort_by(|a, b| {
-            b.1.partial_cmp(&a.1).expect("NaN total").then_with(|| a.0 .0.cmp(&b.0 .0))
+            b.1.partial_cmp(&a.1)
+                .expect("NaN total")
+                .then_with(|| a.0 .0.cmp(&b.0 .0))
         });
         let labels: Vec<bool> = ranked.iter().map(|&(m, _)| relevant(d, m)).collect();
         // Total relevant among the whole catalogue (the ideal ranking could
         // surface any indicated medicine).
-        let total_relevant =
-            (0..n_medicines).filter(|&m| relevant(d, MedicineId(m as u32))).count();
+        let total_relevant = (0..n_medicines)
+            .filter(|&m| relevant(d, MedicineId(m as u32)))
+            .count();
         per_disease.push(DiseaseRankingScore {
             disease: d,
             ap: average_precision_at_k(&labels, k, total_relevant),
@@ -136,13 +139,10 @@ mod tests {
     #[test]
     fn summaries_aggregate() {
         let t = totals(&[((0, 0), 3.0), ((1, 1), 3.0)]);
-        let eval = evaluate_prescription_relevance(
-            &t,
-            &[DiseaseId(0), DiseaseId(1)],
-            2,
-            10,
-            |d, m| d.0 == m.0,
-        );
+        let eval =
+            evaluate_prescription_relevance(&t, &[DiseaseId(0), DiseaseId(1)], 2, 10, |d, m| {
+                d.0 == m.0
+            });
         let s = eval.ap_summary();
         assert_eq!(s.n, 2);
         assert!((s.mean - 1.0).abs() < 1e-12);

@@ -37,7 +37,13 @@ pub struct GibbsOptions {
 
 impl Default for GibbsOptions {
     fn default() -> Self {
-        GibbsOptions { burn_in: 30, samples: 20, thin: 2, beta: 0.01, seed: 5 }
+        GibbsOptions {
+            burn_in: 30,
+            samples: 20,
+            thin: 2,
+            beta: 0.01,
+            seed: 5,
+        }
     }
 }
 
@@ -68,7 +74,10 @@ impl GibbsMedicationModel {
             return 0.0;
         }
         let n_r = n_r as f64;
-        diseases.iter().map(|&(d, n_rd)| (n_rd as f64 / n_r) * self.phi_prob(d, m)).sum()
+        diseases
+            .iter()
+            .map(|&(d, n_rd)| (n_rd as f64 / n_r) * self.phi_prob(d, m))
+            .sum()
     }
 
     pub fn n_medicines(&self) -> usize {
@@ -136,7 +145,11 @@ pub fn fit_gibbs(
             let d = record_diseases[ri][z].0;
             *pair_counts.entry((d, m.0)).or_insert(0.0) += 1.0;
             disease_totals[d as usize] += 1.0;
-            sites.push(Site { record: ri, medicine: m.0, z });
+            sites.push(Site {
+                record: ri,
+                medicine: m.0,
+                z,
+            });
         }
     }
 
@@ -155,7 +168,9 @@ pub fn fit_gibbs(
             }
             // Remove the site's current assignment.
             let cur_d = ds[site.z].0;
-            *pair_counts.get_mut(&(cur_d, site.medicine)).expect("assigned") -= 1.0;
+            *pair_counts
+                .get_mut(&(cur_d, site.medicine))
+                .expect("assigned") -= 1.0;
             disease_totals[cur_d as usize] -= 1.0;
             // Sample a new assignment.
             probs.clear();
@@ -171,7 +186,7 @@ pub fn fit_gibbs(
             disease_totals[new_d as usize] += 1.0;
         }
         // Retain a sample?
-        if sweep >= opts.burn_in && (sweep - opts.burn_in) % opts.thin.max(1) == 0 {
+        if sweep >= opts.burn_in && (sweep - opts.burn_in).is_multiple_of(opts.thin.max(1)) {
             retained += 1;
             for (&(d, m), &c) in &pair_counts {
                 if c > 0.0 {
@@ -189,8 +204,7 @@ pub fn fit_gibbs(
     // averaged background mass. (A medicine seen in only some samples also
     // picks up background mass for the rest.)
     let mut phi_mean: Vec<HashMap<u32, f64>> = vec![HashMap::new(); n_diseases];
-    let background: Vec<f64> =
-        background_acc.iter().map(|&b| b / retained).collect();
+    let background: Vec<f64> = background_acc.iter().map(|&b| b / retained).collect();
     for (d, row) in phi_acc.into_iter().enumerate() {
         for (m, acc) in row {
             // Samples where the pair had zero count contributed no term; add
@@ -199,7 +213,12 @@ pub fn fit_gibbs(
             phi_mean[d].insert(m, seen_share.max(background[d]));
         }
     }
-    GibbsMedicationModel { n_medicines, beta, phi_mean, background }
+    GibbsMedicationModel {
+        n_medicines,
+        beta,
+        phi_mean,
+        background,
+    }
 }
 
 #[cfg(test)]
@@ -213,7 +232,10 @@ mod tests {
         MicRecord {
             patient: PatientId(0),
             hospital: HospitalId(0),
-            diseases: diseases.into_iter().map(|(d, n)| (DiseaseId(d), n)).collect(),
+            diseases: diseases
+                .into_iter()
+                .map(|(d, n)| (DiseaseId(d), n))
+                .collect(),
             medicines: meds.into_iter().map(MedicineId).collect(),
             truth_links: truth,
         }
@@ -230,7 +252,10 @@ mod tests {
         for _ in 0..10 {
             records.push(record(vec![(0, 1)], vec![0]));
         }
-        MonthlyDataset { month: Month(0), records }
+        MonthlyDataset {
+            month: Month(0),
+            records,
+        }
     }
 
     #[test]
@@ -240,8 +265,11 @@ mod tests {
         let em = MedicationModel::fit(&month, 2, 2, &EmOptions::default());
         // Both engines must push medicine 1 to disease 1 and keep medicine 0
         // with disease 0.
-        assert!(gibbs.phi_prob(DiseaseId(0), MedicineId(0)) > 0.5,
-            "gibbs φ(0,0) = {}", gibbs.phi_prob(DiseaseId(0), MedicineId(0)));
+        assert!(
+            gibbs.phi_prob(DiseaseId(0), MedicineId(0)) > 0.5,
+            "gibbs φ(0,0) = {}",
+            gibbs.phi_prob(DiseaseId(0), MedicineId(0))
+        );
         assert!(gibbs.phi_prob(DiseaseId(1), MedicineId(1)) > 0.9);
         // Agreement with EM within loose tolerance.
         for d in 0..2 {
@@ -265,7 +293,15 @@ mod tests {
             a.phi_prob(DiseaseId(0), MedicineId(0)),
             b.phi_prob(DiseaseId(0), MedicineId(0))
         );
-        let c = fit_gibbs(&month, 2, 2, &GibbsOptions { seed: 99, ..Default::default() });
+        let c = fit_gibbs(
+            &month,
+            2,
+            2,
+            &GibbsOptions {
+                seed: 99,
+                ..Default::default()
+            },
+        );
         // A different seed may (slightly) differ — just ensure it's sane.
         assert!(c.phi_prob(DiseaseId(1), MedicineId(1)) > 0.8);
     }
@@ -275,8 +311,9 @@ mod tests {
         let month = confounded_month();
         let gibbs = fit_gibbs(&month, 2, 2, &GibbsOptions::default());
         for d in 0..2 {
-            let total: f64 =
-                (0..2).map(|m| gibbs.phi_prob(DiseaseId(d), MedicineId(m))).sum();
+            let total: f64 = (0..2)
+                .map(|m| gibbs.phi_prob(DiseaseId(d), MedicineId(m)))
+                .sum();
             assert!(total > 0.5 && total < 1.5, "row {d} mass {total}");
             for m in 0..2 {
                 let p = gibbs.phi_prob(DiseaseId(d), MedicineId(m));
@@ -297,7 +334,10 @@ mod tests {
         };
         let gibbs = fit_gibbs(&month, 1, 3, &GibbsOptions::default());
         let unseen = gibbs.phi_prob(DiseaseId(0), MedicineId(2));
-        assert!(unseen > 0.0, "unseen medicines must keep positive probability");
+        assert!(
+            unseen > 0.0,
+            "unseen medicines must keep positive probability"
+        );
         assert!(unseen < gibbs.phi_prob(DiseaseId(0), MedicineId(0)));
     }
 }

@@ -30,7 +30,11 @@ pub struct EmOptions {
 
 impl Default for EmOptions {
     fn default() -> Self {
-        EmOptions { max_iters: 100, tol: 1e-7, smoothing: 1e-3 }
+        EmOptions {
+            max_iters: 100,
+            tol: 1e-7,
+            smoothing: 1e-3,
+        }
     }
 }
 
@@ -45,7 +49,10 @@ struct PhiRow {
 
 impl PhiRow {
     fn empty() -> PhiRow {
-        PhiRow { counts: HashMap::new(), total: 0.0 }
+        PhiRow {
+            counts: HashMap::new(),
+            total: 0.0,
+        }
     }
 
     #[inline]
@@ -73,7 +80,12 @@ pub struct MedicationModel {
 
 impl MedicationModel {
     /// Fit the model to one monthly dataset with EM.
-    pub fn fit(month: &MonthlyDataset, n_diseases: usize, n_medicines: usize, opts: &EmOptions) -> MedicationModel {
+    pub fn fit(
+        month: &MonthlyDataset,
+        n_diseases: usize,
+        n_medicines: usize,
+        opts: &EmOptions,
+    ) -> MedicationModel {
         assert!(n_diseases > 0 && n_medicines > 0, "empty vocabulary");
         // η from Eq. 4: normalised diagnosis counts.
         let df = month.disease_frequencies(n_diseases);
@@ -142,7 +154,10 @@ impl MedicationModel {
         opts: &EmOptions,
         continuity: f64,
     ) -> Vec<MedicationModel> {
-        assert!((0.0..1.0).contains(&continuity), "continuity must be in [0, 1)");
+        assert!(
+            (0.0..1.0).contains(&continuity),
+            "continuity must be in [0, 1)"
+        );
         let mut out: Vec<MedicationModel> = Vec::with_capacity(months.len());
         for month in months {
             let mut model = MedicationModel::fit(month, n_diseases, n_medicines, opts);
@@ -151,8 +166,7 @@ impl MedicationModel {
                     // Refine with the temporal prior.
                     let mut prev_ll = f64::NEG_INFINITY;
                     for iter in 0..opts.max_iters {
-                        let (new_phi, ll) =
-                            model.em_step(month, Some((&prev.phi, continuity)));
+                        let (new_phi, ll) = model.em_step(month, Some((&prev.phi, continuity)));
                         model.phi = new_phi;
                         model.log_likelihood = ll;
                         model.iterations = iter + 1;
@@ -315,7 +329,10 @@ mod tests {
         MicRecord {
             patient: PatientId(0),
             hospital: HospitalId(0),
-            diseases: diseases.into_iter().map(|(d, n)| (DiseaseId(d), n)).collect(),
+            diseases: diseases
+                .into_iter()
+                .map(|(d, n)| (DiseaseId(d), n))
+                .collect(),
             medicines: meds.into_iter().map(MedicineId).collect(),
             truth_links: truth,
         }
@@ -329,7 +346,10 @@ mod tests {
             records.push(record(vec![(0, 1)], vec![0, 0]));
             records.push(record(vec![(1, 1)], vec![1]));
         }
-        let month = MonthlyDataset { month: Month(0), records };
+        let month = MonthlyDataset {
+            month: Month(0),
+            records,
+        };
         let model = MedicationModel::fit(&month, 2, 2, &EmOptions::default());
         assert!(model.phi_prob(DiseaseId(0), MedicineId(0)) > 0.95);
         assert!(model.phi_prob(DiseaseId(0), MedicineId(1)) < 0.05);
@@ -356,7 +376,10 @@ mod tests {
         for _ in 0..10 {
             records.push(record(vec![(0, 1)], vec![0]));
         }
-        let month = MonthlyDataset { month: Month(0), records };
+        let month = MonthlyDataset {
+            month: Month(0),
+            records,
+        };
         let model = MedicationModel::fit(&month, 2, 2, &EmOptions::default());
         let phi_a0 = model.phi_prob(DiseaseId(0), MedicineId(0));
         let phi_a1 = model.phi_prob(DiseaseId(0), MedicineId(1));
@@ -369,8 +392,14 @@ mod tests {
 
     #[test]
     fn eta_matches_eq4() {
-        let records = vec![record(vec![(0, 2), (1, 1)], vec![0]), record(vec![(1, 3)], vec![0])];
-        let month = MonthlyDataset { month: Month(0), records };
+        let records = vec![
+            record(vec![(0, 2), (1, 1)], vec![0]),
+            record(vec![(1, 3)], vec![0]),
+        ];
+        let month = MonthlyDataset {
+            month: Month(0),
+            records,
+        };
         let model = MedicationModel::fit(&month, 2, 1, &EmOptions::default());
         // Counts: d0 = 2, d1 = 4 → η = (1/3, 2/3).
         assert!((model.eta(DiseaseId(0)) - 1.0 / 3.0).abs() < 1e-12);
@@ -384,11 +413,15 @@ mod tests {
             record(vec![(0, 2)], vec![0, 0]),
             record(vec![(1, 1)], vec![2]),
         ];
-        let month = MonthlyDataset { month: Month(0), records };
+        let month = MonthlyDataset {
+            month: Month(0),
+            records,
+        };
         let model = MedicationModel::fit(&month, 2, 3, &EmOptions::default());
         for d in 0..2 {
-            let total: f64 =
-                (0..3).map(|m| model.phi_prob(DiseaseId(d), MedicineId(m))).sum();
+            let total: f64 = (0..3)
+                .map(|m| model.phi_prob(DiseaseId(d), MedicineId(m)))
+                .sum();
             assert!((total - 1.0).abs() < 1e-9, "row {d} sums to {total}");
         }
     }
@@ -396,7 +429,10 @@ mod tests {
     #[test]
     fn responsibilities_sum_to_one_and_respect_theta() {
         let records = vec![record(vec![(0, 3), (1, 1)], vec![0])];
-        let month = MonthlyDataset { month: Month(0), records: records.clone() };
+        let month = MonthlyDataset {
+            month: Month(0),
+            records: records.clone(),
+        };
         let model = MedicationModel::fit(&month, 2, 1, &EmOptions::default());
         let q = model.responsibilities(&records[0].diseases, MedicineId(0));
         assert_eq!(q.len(), 2);
@@ -411,12 +447,22 @@ mod tests {
         // Fit with increasing iteration caps; log-likelihood must not drop.
         let mut records = Vec::new();
         for i in 0..40 {
-            records.push(record(vec![(i % 3, 1), ((i + 1) % 3, 2)], vec![i % 4, (i * 2) % 4]));
+            records.push(record(
+                vec![(i % 3, 1), ((i + 1) % 3, 2)],
+                vec![i % 4, (i * 2) % 4],
+            ));
         }
-        let month = MonthlyDataset { month: Month(0), records };
+        let month = MonthlyDataset {
+            month: Month(0),
+            records,
+        };
         let mut prev = f64::NEG_INFINITY;
         for iters in [1, 2, 4, 8, 16] {
-            let opts = EmOptions { max_iters: iters, tol: 0.0, ..Default::default() };
+            let opts = EmOptions {
+                max_iters: iters,
+                tol: 0.0,
+                ..Default::default()
+            };
             let model = MedicationModel::fit(&month, 3, 4, &opts);
             assert!(
                 model.log_likelihood >= prev - 1e-9,
@@ -434,15 +480,25 @@ mod tests {
             records.push(record(vec![(0, 1)], vec![0]));
             records.push(record(vec![(1, 1)], vec![1]));
         }
-        let month = MonthlyDataset { month: Month(0), records };
+        let month = MonthlyDataset {
+            month: Month(0),
+            records,
+        };
         let model = MedicationModel::fit(&month, 2, 2, &EmOptions::default());
-        assert!(model.iterations < 100, "took {} iterations", model.iterations);
+        assert!(
+            model.iterations < 100,
+            "took {} iterations",
+            model.iterations
+        );
     }
 
     #[test]
     fn record_medicine_prob_is_mixture() {
         let records = vec![record(vec![(0, 1)], vec![0]), record(vec![(1, 1)], vec![1])];
-        let month = MonthlyDataset { month: Month(0), records };
+        let month = MonthlyDataset {
+            month: Month(0),
+            records,
+        };
         let model = MedicationModel::fit(&month, 2, 2, &EmOptions::default());
         let bag = vec![(DiseaseId(0), 1), (DiseaseId(1), 1)];
         let p0 = model.record_medicine_prob(&bag, MedicineId(0));
@@ -463,8 +519,14 @@ mod tests {
         // Sparse month: a single ambiguous comorbid record.
         let sparse = vec![record(vec![(0, 1), (1, 1)], vec![0])];
         let months = vec![
-            MonthlyDataset { month: Month(0), records: rich },
-            MonthlyDataset { month: Month(1), records: sparse },
+            MonthlyDataset {
+                month: Month(0),
+                records: rich,
+            },
+            MonthlyDataset {
+                month: Month(1),
+                records: sparse,
+            },
         ];
         let opts = EmOptions::default();
         let independent = MedicationModel::fit(&months[1], 2, 2, &opts);
@@ -490,14 +552,21 @@ mod tests {
     #[test]
     fn tracked_rows_remain_distributions() {
         let months = vec![
-            MonthlyDataset { month: Month(0), records: vec![record(vec![(0, 1)], vec![0, 1])] },
-            MonthlyDataset { month: Month(1), records: vec![record(vec![(1, 2)], vec![1])] },
+            MonthlyDataset {
+                month: Month(0),
+                records: vec![record(vec![(0, 1)], vec![0, 1])],
+            },
+            MonthlyDataset {
+                month: Month(1),
+                records: vec![record(vec![(1, 2)], vec![1])],
+            },
         ];
         let tracked = MedicationModel::fit_tracked(&months, 2, 2, &EmOptions::default(), 0.8);
         for model in &tracked {
             for d in 0..2 {
-                let total: f64 =
-                    (0..2).map(|m| model.phi_prob(DiseaseId(d), MedicineId(m))).sum();
+                let total: f64 = (0..2)
+                    .map(|m| model.phi_prob(DiseaseId(d), MedicineId(m)))
+                    .sum();
                 assert!((total - 1.0).abs() < 1e-9);
             }
         }
@@ -505,7 +574,10 @@ mod tests {
 
     #[test]
     fn empty_bag_edge_cases() {
-        let month = MonthlyDataset { month: Month(0), records: vec![record(vec![(0, 1)], vec![0])] };
+        let month = MonthlyDataset {
+            month: Month(0),
+            records: vec![record(vec![(0, 1)], vec![0])],
+        };
         let model = MedicationModel::fit(&month, 1, 1, &EmOptions::default());
         assert_eq!(model.record_medicine_prob(&[], MedicineId(0)), 0.0);
         assert!(model.responsibilities(&[], MedicineId(0)).is_empty());

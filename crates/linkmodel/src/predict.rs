@@ -47,7 +47,10 @@ pub struct SplitOptions {
 
 impl Default for SplitOptions {
     fn default() -> Self {
-        SplitOptions { test_fraction: 0.1, seed: 13 }
+        SplitOptions {
+            test_fraction: 0.1,
+            seed: 13,
+        }
     }
 }
 
@@ -58,7 +61,10 @@ pub type HeldOut = Vec<(usize, Vec<MedicineId>)>;
 /// and test (returned separately). Records with a single medicine keep it in
 /// training (nothing to hold out without leaving the record empty).
 pub fn split_records(month: &MonthlyDataset, opts: &SplitOptions) -> (MonthlyDataset, HeldOut) {
-    assert!((0.0..1.0).contains(&opts.test_fraction), "test_fraction must be in [0,1)");
+    assert!(
+        (0.0..1.0).contains(&opts.test_fraction),
+        "test_fraction must be in [0,1)"
+    );
     let mut rng = SmallRng::seed_from_u64(opts.seed ^ (month.month.0 as u64).wrapping_mul(0x9e37));
     let mut train_records = Vec::with_capacity(month.records.len());
     let mut held_out = Vec::new();
@@ -95,7 +101,13 @@ pub fn split_records(month: &MonthlyDataset, opts: &SplitOptions) -> (MonthlyDat
             held_out.push((i, test_m));
         }
     }
-    (MonthlyDataset { month: month.month, records: train_records }, held_out)
+    (
+        MonthlyDataset {
+            month: month.month,
+            records: train_records,
+        },
+        held_out,
+    )
 }
 
 /// Perplexity (Eq. 11) of a predictor over held-out medicines:
@@ -135,7 +147,10 @@ mod tests {
         MicRecord {
             patient: PatientId(0),
             hospital: HospitalId(0),
-            diseases: diseases.into_iter().map(|(d, n)| (DiseaseId(d), n)).collect(),
+            diseases: diseases
+                .into_iter()
+                .map(|(d, n)| (DiseaseId(d), n))
+                .collect(),
             medicines: meds.into_iter().map(MedicineId).collect(),
             truth_links: truth,
         }
@@ -149,7 +164,10 @@ mod tests {
             let meds = if i % 10 == 0 { vec![d, 4] } else { vec![d, d] };
             records.push(record(vec![(d, 1)], meds));
         }
-        MonthlyDataset { month: Month(0), records }
+        MonthlyDataset {
+            month: Month(0),
+            records,
+        }
     }
 
     #[test]
@@ -161,7 +179,10 @@ mod tests {
         let total_after: usize = train.records.iter().map(|r| r.medicines.len()).sum();
         let total_held: usize = held.iter().map(|(_, m)| m.len()).sum();
         assert_eq!(total_before, total_after + total_held);
-        assert!(total_held > 0, "10% of 400 medicines should hold out something");
+        assert!(
+            total_held > 0,
+            "10% of 400 medicines should hold out something"
+        );
         for r in &train.records {
             assert!(!r.medicines.is_empty());
             assert_eq!(r.medicines.len(), r.truth_links.len());
@@ -183,7 +204,13 @@ mod tests {
             month: Month(0),
             records: vec![record(vec![(0, 1)], vec![0])],
         };
-        let (train, held) = split_records(&month, &SplitOptions { test_fraction: 0.9, seed: 1 });
+        let (train, held) = split_records(
+            &month,
+            &SplitOptions {
+                test_fraction: 0.9,
+                seed: 1,
+            },
+        );
         assert_eq!(train.records[0].medicines.len(), 1);
         assert!(held.is_empty());
     }
@@ -217,7 +244,10 @@ mod tests {
 
     #[test]
     fn perplexity_nan_when_nothing_held_out() {
-        let month = MonthlyDataset { month: Month(0), records: vec![] };
+        let month = MonthlyDataset {
+            month: Month(0),
+            records: vec![],
+        };
         let unigram = UnigramModel::fit(&month, 1, 1e-3);
         assert!(perplexity(&unigram, &month, &[]).is_nan());
     }

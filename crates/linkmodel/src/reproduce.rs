@@ -41,6 +41,17 @@ pub struct PrescriptionPanel {
 }
 
 impl PrescriptionPanel {
+    /// An all-zero panel — handy for constructing reports in tests or for
+    /// representing a window with no claims at all.
+    pub fn empty(n_diseases: usize, n_medicines: usize, horizon: usize) -> PrescriptionPanel {
+        PrescriptionPanel {
+            horizon,
+            prescriptions: HashMap::new(),
+            diseases: vec![vec![0.0; horizon]; n_diseases],
+            medicines: vec![vec![0.0; horizon]; n_medicines],
+        }
+    }
+
     /// Number of months `T`.
     pub fn horizon(&self) -> usize {
         self.horizon
@@ -86,7 +97,10 @@ impl PrescriptionPanel {
     /// Total prescription count per pair over the whole window
     /// (`x_dm = Σ_t x_dmt`, the ranking statistic of Section VIII-A2).
     pub fn pair_totals(&self) -> HashMap<(u32, u32), f64> {
-        self.prescriptions.iter().map(|(&k, v)| (k, v.iter().sum())).collect()
+        self.prescriptions
+            .iter()
+            .map(|(&k, v)| (k, v.iter().sum()))
+            .collect()
     }
 
     /// Keys of every series whose total mass over the window is at least
@@ -122,8 +136,12 @@ impl PrescriptionPanel {
             .enumerate()
             .map(|(d, s)| (d, s.iter().sum::<f64>()))
             .collect();
-        totals.sort_by(|a, b| b.1.partial_cmp(&a.1).expect("NaN total"));
-        totals.into_iter().take(n).map(|(d, _)| DiseaseId(d as u32)).collect()
+        totals.sort_by(|a, b| b.1.total_cmp(&a.1));
+        totals
+            .into_iter()
+            .take(n)
+            .map(|(d, _)| DiseaseId(d as u32))
+            .collect()
     }
 }
 
@@ -155,7 +173,11 @@ impl PanelBuilder {
     /// month (Eq. 7).
     pub fn add_month(&mut self, month: &MonthlyDataset, model: &MedicationModel) {
         let t = month.month.index();
-        assert!(t < self.horizon, "month {t} beyond horizon {}", self.horizon);
+        assert!(
+            t < self.horizon,
+            "month {t} beyond horizon {}",
+            self.horizon
+        );
         assert!(!self.months_added[t], "month {t} added twice");
         self.months_added[t] = true;
         for r in &month.records {
@@ -208,14 +230,20 @@ mod tests {
         MicRecord {
             patient: PatientId(0),
             hospital: HospitalId(0),
-            diseases: diseases.into_iter().map(|(d, n)| (DiseaseId(d), n)).collect(),
+            diseases: diseases
+                .into_iter()
+                .map(|(d, n)| (DiseaseId(d), n))
+                .collect(),
             medicines: meds.into_iter().map(MedicineId).collect(),
             truth_links: truth,
         }
     }
 
     fn month(t: u32, records: Vec<MicRecord>) -> MonthlyDataset {
-        MonthlyDataset { month: Month(t), records }
+        MonthlyDataset {
+            month: Month(t),
+            records,
+        }
     }
 
     fn build_panel(months: Vec<MonthlyDataset>, n_d: usize, n_m: usize) -> PrescriptionPanel {
@@ -232,7 +260,13 @@ mod tests {
     fn responsibilities_conserve_prescription_mass() {
         // Total panel mass per month must equal the number of prescriptions.
         let months = vec![
-            month(0, vec![record(vec![(0, 1), (1, 2)], vec![0, 1]), record(vec![(1, 1)], vec![1])]),
+            month(
+                0,
+                vec![
+                    record(vec![(0, 1), (1, 2)], vec![0, 1]),
+                    record(vec![(1, 1)], vec![1]),
+                ],
+            ),
             month(1, vec![record(vec![(0, 2)], vec![0, 0, 1])]),
         ];
         let panel = build_panel(months, 2, 2);
@@ -241,7 +275,9 @@ mod tests {
         let t1: f64 = (0..2).map(|d| panel.disease_series(DiseaseId(d))[1]).sum();
         assert!((t1 - 3.0).abs() < 1e-9, "month 1 mass = {t1}");
         // Medicine marginals conserve the same mass.
-        let m0: f64 = (0..2).map(|m| panel.medicine_series(MedicineId(m))[0]).sum();
+        let m0: f64 = (0..2)
+            .map(|m| panel.medicine_series(MedicineId(m))[0])
+            .sum();
         assert!((m0 - 3.0).abs() < 1e-9);
     }
 
@@ -261,7 +297,10 @@ mod tests {
                 .filter_map(|m| panel.prescription_series(DiseaseId(d), MedicineId(m)))
                 .map(|s| s[0])
                 .sum();
-            assert!((marginal - from_pairs).abs() < 1e-9, "d{d}: {marginal} vs {from_pairs}");
+            assert!(
+                (marginal - from_pairs).abs() < 1e-9,
+                "d{d}: {marginal} vs {from_pairs}"
+            );
         }
     }
 
@@ -269,7 +308,9 @@ mod tests {
     fn single_disease_records_attribute_fully() {
         let months = vec![month(0, vec![record(vec![(0, 1)], vec![0, 0])])];
         let panel = build_panel(months, 1, 1);
-        let series = panel.prescription_series(DiseaseId(0), MedicineId(0)).unwrap();
+        let series = panel
+            .prescription_series(DiseaseId(0), MedicineId(0))
+            .unwrap();
         assert!((series[0] - 2.0).abs() < 1e-9);
     }
 

@@ -18,8 +18,10 @@ fn arb_record() -> impl Strategy<Value = MicRecord> {
         prop::collection::vec(0u32..N_M as u32, 0..8),
     )
         .prop_map(|(diseases, meds)| {
-            let diseases: Vec<(DiseaseId, u32)> =
-                diseases.into_iter().map(|(d, n)| (DiseaseId(d), n)).collect();
+            let diseases: Vec<(DiseaseId, u32)> = diseases
+                .into_iter()
+                .map(|(d, n)| (DiseaseId(d), n))
+                .collect();
             let truth = vec![diseases[0].0; meds.len()];
             MicRecord {
                 patient: PatientId(0),
@@ -32,8 +34,10 @@ fn arb_record() -> impl Strategy<Value = MicRecord> {
 }
 
 fn arb_month() -> impl Strategy<Value = MonthlyDataset> {
-    prop::collection::vec(arb_record(), 1..40)
-        .prop_map(|records| MonthlyDataset { month: Month(0), records })
+    prop::collection::vec(arb_record(), 1..40).prop_map(|records| MonthlyDataset {
+        month: Month(0),
+        records,
+    })
 }
 
 proptest! {

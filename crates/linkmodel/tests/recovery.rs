@@ -39,7 +39,8 @@ fn proposed_model_beats_baselines_on_perplexity() {
             continue;
         }
         months += 1;
-        let model = MedicationModel::fit(&train, ds.n_diseases, ds.n_medicines, &EmOptions::default());
+        let model =
+            MedicationModel::fit(&train, ds.n_diseases, ds.n_medicines, &EmOptions::default());
         let cooc = CooccurrenceModel::fit(&train, ds.n_diseases, ds.n_medicines, 1e-3);
         let unigram = UnigramModel::fit(&train, ds.n_medicines, 1e-3);
         let p_model = perplexity(&model, month, &held);
@@ -55,8 +56,14 @@ fn proposed_model_beats_baselines_on_perplexity() {
     assert!(months >= 10);
     // The paper reports the proposed model winning every month; allow one
     // upset on this small simulation.
-    assert!(wins_vs_cooc >= months - 1, "beat cooccurrence only {wins_vs_cooc}/{months}");
-    assert!(wins_vs_unigram >= months - 1, "beat unigram only {wins_vs_unigram}/{months}");
+    assert!(
+        wins_vs_cooc >= months - 1,
+        "beat cooccurrence only {wins_vs_cooc}/{months}"
+    );
+    assert!(
+        wins_vs_unigram >= months - 1,
+        "beat unigram only {wins_vs_unigram}/{months}"
+    );
 }
 
 #[test]
@@ -69,7 +76,8 @@ fn proposed_model_ranking_beats_cooccurrence() {
     // Cooccurrence "panel": total cooccurrence counts per pair.
     let mut cooc_totals: std::collections::HashMap<(u32, u32), f64> = Default::default();
     for month in &ds.months {
-        let model = MedicationModel::fit(month, ds.n_diseases, ds.n_medicines, &EmOptions::default());
+        let model =
+            MedicationModel::fit(month, ds.n_diseases, ds.n_medicines, &EmOptions::default());
         builder.add_month(month, &model);
         for r in &month.records {
             let mut med_counts: std::collections::HashMap<u32, f64> = Default::default();
@@ -87,7 +95,8 @@ fn proposed_model_ranking_beats_cooccurrence() {
     let top = panel.top_diseases(15);
     let relevant = |d: mic_claims::DiseaseId, m: mic_claims::MedicineId| world.relevant(d, m);
 
-    let ours = evaluate_prescription_relevance(&panel.pair_totals(), &top, ds.n_medicines, 10, relevant);
+    let ours =
+        evaluate_prescription_relevance(&panel.pair_totals(), &top, ds.n_medicines, 10, relevant);
     let cooc = evaluate_prescription_relevance(&cooc_totals, &top, ds.n_medicines, 10, relevant);
     let ours_ap = ours.ap_summary().mean;
     let cooc_ap = cooc.ap_summary().mean;
@@ -112,13 +121,15 @@ fn reproduced_series_track_true_links() {
     let mut builder = PanelBuilder::new(ds.n_diseases, ds.n_medicines, ds.horizon());
     let mut truth: std::collections::HashMap<(u32, u32), Vec<f64>> = Default::default();
     for month in &ds.months {
-        let model = MedicationModel::fit(month, ds.n_diseases, ds.n_medicines, &EmOptions::default());
+        let model =
+            MedicationModel::fit(month, ds.n_diseases, ds.n_medicines, &EmOptions::default());
         builder.add_month(month, &model);
         for r in &month.records {
             for (l, &m) in r.medicines.iter().enumerate() {
                 let d = r.truth_links[l];
-                truth.entry((d.0, m.0)).or_insert_with(|| vec![0.0; ds.horizon()])
-                    [month.month.index()] += 1.0;
+                truth
+                    .entry((d.0, m.0))
+                    .or_insert_with(|| vec![0.0; ds.horizon()])[month.month.index()] += 1.0;
             }
         }
     }

@@ -10,8 +10,9 @@
 //! Table VI: **the approximate search produces no false positives**, because
 //! its winning candidate is a member of the exhaustive candidate set.
 
-use crate::estimate::{fit_structural_with_skip, FitOptions, FittedStructural};
-use crate::structural::StructuralSpec;
+use crate::estimate::{fit_structural_with_skip_ws, FitOptions, FittedStructural};
+use crate::kalman::FilterWorkspace;
+use crate::structural::{StructuralParams, StructuralSpec};
 use std::collections::HashMap;
 
 /// Model-selection criterion for the change-point search. The paper uses
@@ -86,7 +87,10 @@ pub struct ChangePointSearch {
     pub aic_by_candidate: HashMap<usize, f64>,
 }
 
-/// Shared fitting context that memoises per-candidate fits.
+/// Shared fitting context that memoises per-candidate fits. One
+/// [`FilterWorkspace`] serves every candidate fit in the search, so the
+/// entire MLE path — dozens of fits, each hundreds of likelihood
+/// evaluations — runs without per-evaluation heap allocation.
 struct SearchContext<'a> {
     ys: &'a [f64],
     seasonal: bool,
@@ -94,6 +98,7 @@ struct SearchContext<'a> {
     criterion: SelectionCriterion,
     cache: HashMap<usize, FittedStructural>,
     fits: usize,
+    ws: FilterWorkspace,
 }
 
 impl<'a> SearchContext<'a> {
@@ -103,7 +108,18 @@ impl<'a> SearchContext<'a> {
         opts: &'a FitOptions,
         criterion: SelectionCriterion,
     ) -> Self {
-        SearchContext { ys, seasonal, opts, criterion, cache: HashMap::new(), fits: 0 }
+        let mut ctx = SearchContext {
+            ys,
+            seasonal,
+            opts,
+            criterion,
+            cache: HashMap::new(),
+            fits: 0,
+            ws: FilterWorkspace::default(),
+        };
+        // Candidate fits dominate the search; size for their state dim.
+        ctx.ws = FilterWorkspace::new(ctx.spec_at(1).state_dim());
+        ctx
     }
 
     /// Leading-innovation skip shared by every fit in this search: the base
@@ -143,9 +159,23 @@ impl<'a> SearchContext<'a> {
         }
         let s = self.lead_skip();
         let fit = if cp >= s {
-            fit_structural_with_skip(self.ys, self.spec_at(cp), self.opts, s, &[cp])
+            fit_structural_with_skip_ws(
+                self.ys,
+                self.spec_at(cp),
+                self.opts,
+                s,
+                &[cp],
+                &mut self.ws,
+            )
         } else {
-            fit_structural_with_skip(self.ys, self.spec_at(cp), self.opts, s + 1, &[])
+            fit_structural_with_skip_ws(
+                self.ys,
+                self.spec_at(cp),
+                self.opts,
+                s + 1,
+                &[],
+                &mut self.ws,
+            )
         };
         self.fits += 1;
         let score = self.criterion.score(&fit);
@@ -156,7 +186,52 @@ impl<'a> SearchContext<'a> {
     fn no_change_fit(&mut self) -> FittedStructural {
         self.fits += 1;
         let s = self.lead_skip();
-        fit_structural_with_skip(self.ys, self.base_spec(), self.opts, s + 1, &[])
+        fit_structural_with_skip_ws(
+            self.ys,
+            self.base_spec(),
+            self.opts,
+            s + 1,
+            &[],
+            &mut self.ws,
+        )
+    }
+
+    /// `true` when `ys` is too short for any search: the likelihood skips
+    /// leave fewer than two scored observations, or there is no interior
+    /// candidate month at all.
+    fn too_short(&self) -> bool {
+        let n = self.ys.len();
+        n < self.lead_skip() + 3 || candidates(n).is_empty()
+    }
+
+    /// Degenerate "no change" result for series the search cannot handle.
+    /// Such series carry no evidence either way, so report
+    /// [`ChangePoint::None`] with an infinite criterion score (never ranked
+    /// above a real fit, and NaN-free) instead of panicking.
+    fn short_series_finish(self) -> ChangePointSearch {
+        let s = self.lead_skip();
+        let fit = FittedStructural {
+            spec: self.base_spec(),
+            params: StructuralParams {
+                var_eps: 0.0,
+                var_level: 0.0,
+                var_seasonal: 0.0,
+            },
+            loglik: f64::NEG_INFINITY,
+            aic: f64::INFINITY,
+            bic: f64::INFINITY,
+            n: self.ys.len(),
+            skip: s + 1,
+            evals: 0,
+        };
+        ChangePointSearch {
+            change_point: ChangePoint::None,
+            aic: f64::INFINITY,
+            fit,
+            aic_no_change: f64::INFINITY,
+            fits_performed: 0,
+            aic_by_candidate: HashMap::new(),
+        }
     }
 
     fn take_fit(&mut self, cp: usize) -> FittedStructural {
@@ -178,16 +253,15 @@ impl<'a> SearchContext<'a> {
         best
     }
 
-    fn finish(
-        mut self,
-        best_cp: usize,
-        best_aic: f64,
-    ) -> ChangePointSearch {
+    fn finish(mut self, best_cp: usize, best_aic: f64) -> ChangePointSearch {
         let no_change = self.no_change_fit();
         let aic_no_change = self.criterion.score(&no_change);
         let aic_by_candidate: HashMap<usize, f64> = {
             let criterion = self.criterion;
-            self.cache.iter().map(|(&cp, fit)| (cp, criterion.score(fit))).collect()
+            self.cache
+                .iter()
+                .map(|(&cp, fit)| (cp, criterion.score(fit)))
+                .collect()
         };
         // Ties favour no change.
         if best_aic < aic_no_change {
@@ -236,6 +310,9 @@ pub fn exact_change_point_with(
 ) -> ChangePointSearch {
     let n = ys.len();
     let mut ctx = SearchContext::new(ys, seasonal, opts, criterion);
+    if ctx.too_short() {
+        return ctx.short_series_finish();
+    }
     let mut best_cp = 1;
     let mut best_aic = f64::INFINITY;
     for cp in candidates(n) {
@@ -265,9 +342,11 @@ pub fn approx_change_point_with(
 ) -> ChangePointSearch {
     let n = ys.len();
     let mut ctx = SearchContext::new(ys, seasonal, opts, criterion);
+    if ctx.too_short() {
+        return ctx.short_series_finish();
+    }
     let mut left = 1usize;
     let right_end = candidates(n).end;
-    assert!(right_end > left, "series too short for a change-point search");
     let mut right = right_end - 1;
     while right - left > 1 {
         let middle = (left + right) / 2;
@@ -288,8 +367,9 @@ pub fn approx_change_point_with(
     // 2. hill-descend ±1/±2 around that point (a handful of extra fits),
     //    which recovers near-misses on gradual ramps whose AIC valley is
     //    shallow and slightly off the probe grid.
-    let (mut best_cp, mut best_aic) =
-        ctx.best_cached().expect("search probed at least two candidates");
+    let (mut best_cp, mut best_aic) = ctx
+        .best_cached()
+        .expect("search probed at least two candidates");
     loop {
         let mut improved = false;
         for delta in [-2i64, -1, 1, 2] {
@@ -329,11 +409,16 @@ mod tests {
 
     fn flat_series(n: usize, seed: u64) -> Vec<f64> {
         let mut rng = SmallRng::seed_from_u64(seed);
-        (0..n).map(|_| 20.0 + mic_stats::dist::sample_normal(&mut rng, 0.0, 1.0)).collect()
+        (0..n)
+            .map(|_| 20.0 + mic_stats::dist::sample_normal(&mut rng, 0.0, 1.0))
+            .collect()
     }
 
     fn fast_opts() -> FitOptions {
-        FitOptions { max_evals: 200, n_starts: 1 }
+        FitOptions {
+            max_evals: 200,
+            n_starts: 1,
+        }
     }
 
     #[test]
@@ -352,7 +437,11 @@ mod tests {
     fn exact_rejects_flat_series() {
         let ys = flat_series(43, 12);
         let r = exact_change_point(&ys, false, &fast_opts());
-        assert_eq!(r.change_point, ChangePoint::None, "flat series has no change point");
+        assert_eq!(
+            r.change_point,
+            ChangePoint::None,
+            "flat series has no change point"
+        );
         assert_eq!(r.aic, r.aic_no_change);
     }
 
@@ -395,7 +484,11 @@ mod tests {
         let approx = approx_change_point(&ys, false, &fast_opts());
         // Exhaustive: T−3 candidates + 1 base = 41; binary: ~2·log₂(T) for
         // the probes plus a handful of hill-descent refinement fits.
-        assert_eq!(exact.fits_performed, 41, "exact fits = {}", exact.fits_performed);
+        assert_eq!(
+            exact.fits_performed, 41,
+            "exact fits = {}",
+            exact.fits_performed
+        );
         assert!(
             approx.fits_performed <= 2 * 6 + 8,
             "approx fits = {}",
@@ -470,6 +563,47 @@ mod tests {
         let ys = flat_series(43, 77);
         let r = exact_change_point_with(&ys, false, &fast_opts(), SelectionCriterion::Bic);
         assert_eq!(r.change_point, ChangePoint::None);
+    }
+
+    #[test]
+    fn short_series_returns_none_instead_of_panicking() {
+        // Below any searchable length — including the empty series — both
+        // algorithms must degrade to a clean "no change" answer.
+        for n in 0..=4usize {
+            let ys: Vec<f64> = (0..n).map(|t| t as f64).collect();
+            for seasonal in [false, true] {
+                let a = approx_change_point(&ys, seasonal, &fast_opts());
+                let e = exact_change_point(&ys, seasonal, &fast_opts());
+                if seasonal || n < 4 {
+                    assert_eq!(a.change_point, ChangePoint::None, "approx n={n}");
+                    assert_eq!(e.change_point, ChangePoint::None, "exact n={n}");
+                    assert_eq!(a.fits_performed, 0);
+                    assert!(a.aic.is_infinite() && !a.aic.is_nan());
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn seasonal_search_below_burn_in_returns_none() {
+        // Seasonal lead skip is 12; lengths 5..15 have interior candidates
+        // but too few scored observations — previously an assert/panic path.
+        for n in [5usize, 10, 14] {
+            let ys: Vec<f64> = (0..n).map(|t| 1.0 + (t as f64) * 0.3).collect();
+            let r = approx_change_point(&ys, true, &fast_opts());
+            assert_eq!(r.change_point, ChangePoint::None, "n = {n}");
+            assert!(r.aic_by_candidate.is_empty());
+        }
+    }
+
+    #[test]
+    fn minimal_searchable_length_still_works() {
+        // n = 4 non-seasonal is the shortest series with a real search: one
+        // candidate month and exactly two scored observations.
+        let ys = [1.0, 2.0, 3.0, 4.0];
+        let r = exact_change_point(&ys, false, &fast_opts());
+        assert!(r.fits_performed > 0);
+        assert!(r.aic.is_finite());
     }
 
     #[test]

@@ -55,7 +55,13 @@ pub fn diagnose_residuals(
         .collect();
     let lags = lags.clamp(1, n.saturating_sub(2));
     let (ljung_box_q, ljung_box_p) = ljung_box(eps, lags);
-    ResidualDiagnostics { standardized, ljung_box_q, ljung_box_p, outlier_months, threshold }
+    ResidualDiagnostics {
+        standardized,
+        ljung_box_q,
+        ljung_box_p,
+        outlier_months,
+        threshold,
+    }
 }
 
 #[cfg(test)]
@@ -94,7 +100,11 @@ mod tests {
             "spike at {spike} not flagged: {:?}",
             d.outlier_months
         );
-        assert!(d.outlier_months.len() <= 3, "too many false outliers: {:?}", d.outlier_months);
+        assert!(
+            d.outlier_months.len() <= 3,
+            "too many false outliers: {:?}",
+            d.outlier_months
+        );
     }
 
     #[test]

@@ -89,16 +89,18 @@ pub fn diffuse_kalman_filter(
         let v = y - zy;
         out.innovations.push(v);
 
-        let m_star: Vec<f64> =
-            (0..m).map(|i| (0..m).map(|j| p_star[(i, j)] * z[j]).sum::<f64>()).collect();
+        let m_star: Vec<f64> = (0..m)
+            .map(|i| (0..m).map(|j| p_star[(i, j)] * z[j]).sum::<f64>())
+            .collect();
         let mut f_star = ssm.obs_var;
         for i in 0..m {
             f_star += z[i] * m_star[i];
         }
 
         if !diffuse_done {
-            let m_inf: Vec<f64> =
-                (0..m).map(|i| (0..m).map(|j| p_inf[(i, j)] * z[j]).sum::<f64>()).collect();
+            let m_inf: Vec<f64> = (0..m)
+                .map(|i| (0..m).map(|j| p_inf[(i, j)] * z[j]).sum::<f64>())
+                .collect();
             let mut f_inf = 0.0;
             for i in 0..m {
                 f_inf += z[i] * m_inf[i];
@@ -193,15 +195,17 @@ mod tests {
     use rand::SeedableRng;
 
     fn params() -> StructuralParams {
-        StructuralParams { var_eps: 1.0, var_level: 0.2, var_seasonal: 0.05 }
+        StructuralParams {
+            var_eps: 1.0,
+            var_level: 0.2,
+            var_seasonal: 0.05,
+        }
     }
 
     fn noisy_series(n: usize, seed: u64) -> Vec<f64> {
         let mut rng = SmallRng::seed_from_u64(seed);
         (0..n)
-            .map(|t| {
-                12.0 + 0.2 * t as f64 + mic_stats::dist::sample_normal(&mut rng, 0.0, 1.0)
-            })
+            .map(|t| 12.0 + 0.2 * t as f64 + mic_stats::dist::sample_normal(&mut rng, 0.0, 1.0))
             .collect()
     }
 
@@ -269,7 +273,11 @@ mod tests {
         let ys = noisy_series(40, 5);
         let mut diffs = Vec::new();
         for &(ve, vl) in &[(0.5, 0.1), (1.0, 0.2), (2.0, 0.05), (0.8, 0.8)] {
-            let p = StructuralParams { var_eps: ve, var_level: vl, var_seasonal: 0.0 };
+            let p = StructuralParams {
+                var_eps: ve,
+                var_level: vl,
+                var_seasonal: 0.0,
+            };
             let ssm = spec.build(&p, ys.len());
             let skip = kalman_filter(&ssm, &ys).loglik;
             let exact = diffuse_filter_structural(&ssm, &ys).loglik;
@@ -279,7 +287,9 @@ mod tests {
         // weakly (F_∞ = 1 for the local level); differences should be tiny.
         let spread = diffs
             .iter()
-            .fold((f64::INFINITY, f64::NEG_INFINITY), |(lo, hi), &d| (lo.min(d), hi.max(d)));
+            .fold((f64::INFINITY, f64::NEG_INFINITY), |(lo, hi), &d| {
+                (lo.min(d), hi.max(d))
+            });
         assert!(
             spread.1 - spread.0 < 0.2,
             "loglik offset should be ≈ constant across parameters: {diffs:?}"
@@ -295,11 +305,18 @@ mod tests {
         let mut rng = SmallRng::seed_from_u64(6);
         let ys: Vec<f64> = (0..43)
             .map(|t| {
-                let w = if t >= cp_true { (t - cp_true + 1) as f64 } else { 0.0 };
+                let w = if t >= cp_true {
+                    (t - cp_true + 1) as f64
+                } else {
+                    0.0
+                };
                 10.0 + 1.5 * w + mic_stats::dist::sample_normal(&mut rng, 0.0, 1.0)
             })
             .collect();
-        let opts = crate::estimate::FitOptions { max_evals: 200, n_starts: 1 };
+        let opts = crate::estimate::FitOptions {
+            max_evals: 200,
+            n_starts: 1,
+        };
         let mut best: Option<(usize, f64)> = None;
         for cand in [5usize, 12, 20, 28, 35] {
             let fit = crate::estimate::fit_structural(
@@ -315,6 +332,10 @@ mod tests {
                 best = Some((cand, aic));
             }
         }
-        assert_eq!(best.unwrap().0, cp_true, "exact diffuse AIC prefers the planted break");
+        assert_eq!(
+            best.unwrap().0,
+            cp_true,
+            "exact diffuse AIC prefers the planted break"
+        );
     }
 }

@@ -9,7 +9,7 @@
 //! variances — so adding the intervention costs exactly one penalty unit,
 //! which is what makes the AIC change-point comparison meaningful.
 
-use crate::kalman::{kalman_filter, FilterResult};
+use crate::kalman::{kalman_filter, kalman_loglik, FilterResult, FilterWorkspace};
 use crate::model::Ssm;
 use crate::smoother::smooth;
 use crate::structural::{Components, StructuralParams, StructuralSpec};
@@ -27,7 +27,10 @@ pub struct FitOptions {
 
 impl Default for FitOptions {
     fn default() -> Self {
-        FitOptions { max_evals: 400, n_starts: 2 }
+        FitOptions {
+            max_evals: 400,
+            n_starts: 2,
+        }
     }
 }
 
@@ -92,7 +95,10 @@ impl FittedStructural {
 
     /// Mean forecasts for `h` steps past the end of `ys`.
     pub fn forecast(&self, ys: &[f64], h: usize) -> Vec<f64> {
-        self.forecast_with_variance(ys, h).into_iter().map(|(m, _)| m).collect()
+        self.forecast_with_variance(ys, h)
+            .into_iter()
+            .map(|(m, _)| m)
+            .collect()
     }
 
     /// Mean forecasts with forecast variances `Var(y_{n+j})` — state
@@ -161,6 +167,25 @@ pub fn fit_structural_with_skip(
     skip: usize,
     extra_skips: &[usize],
 ) -> FittedStructural {
+    let mut ws = FilterWorkspace::new(spec.state_dim());
+    fit_structural_with_skip_ws(ys, spec, opts, skip, extra_skips, &mut ws)
+}
+
+/// Like [`fit_structural_with_skip`] but threading a caller-owned
+/// [`FilterWorkspace`] through every likelihood evaluation, so a change-point
+/// search fitting dozens of candidate models reuses one set of filter
+/// buffers across all of them. The SSM is built once per fit and only its
+/// disturbance variances are overwritten per evaluation; combined with the
+/// allocation-free [`kalman_loglik`], the optimisation loop performs no heap
+/// allocation at all.
+pub fn fit_structural_with_skip_ws(
+    ys: &[f64],
+    spec: StructuralSpec,
+    opts: &FitOptions,
+    skip: usize,
+    extra_skips: &[usize],
+    ws: &mut FilterWorkspace,
+) -> FittedStructural {
     let n = ys.len();
     let q = spec.state_dim();
     assert!(
@@ -173,15 +198,18 @@ pub fn fit_structural_with_skip(
     let var_y = sample_variance(ys).max(1e-6);
     let n_var = spec.n_variance_params();
 
+    // Build the model once; each evaluation only rewrites the variances.
+    let mut ssm = spec.build(&params_from_log(&[], var_y), n);
+    ssm.n_diffuse = skip;
+    ssm.extra_skips = extra_skips.to_vec();
+
     // Objective over log-variances [ln σ²_ε, ln σ²_ξ, (ln σ²_ω)].
-    let objective = |x: &[f64]| -> f64 {
+    let mut objective = |x: &[f64]| -> f64 {
         let params = params_from_log(x, var_y);
-        let mut ssm = spec.build(&params, n);
-        ssm.n_diffuse = skip;
-        ssm.extra_skips = extra_skips.to_vec();
-        let f = kalman_filter(&ssm, ys);
-        if f.loglik.is_finite() {
-            -f.loglik
+        spec.apply_params(&params, &mut ssm);
+        let loglik = kalman_loglik(&ssm, ys, ws);
+        if loglik.is_finite() {
+            -loglik
         } else {
             f64::INFINITY
         }
@@ -204,7 +232,7 @@ pub fn fit_structural_with_skip(
     let mut best: Option<(Vec<f64>, f64, usize)> = None;
     for start in starts.iter().take(opts.n_starts.max(1)) {
         let x0: Vec<f64> = start.iter().take(n_var).copied().collect();
-        let r = nelder_mead(&objective, &x0, &nm_opts);
+        let r = nelder_mead(&mut objective, &x0, &nm_opts);
         let evals = r.evals;
         match &best {
             Some((_, fx, _)) if *fx <= r.fx => {}
@@ -241,7 +269,11 @@ fn params_from_log(x: &[f64], var_y: f64) -> StructuralParams {
             0.0
         }
     };
-    StructuralParams { var_eps: v(0), var_level: v(1), var_seasonal: v(2) }
+    StructuralParams {
+        var_eps: v(0),
+        var_level: v(1),
+        var_seasonal: v(2),
+    }
 }
 
 #[cfg(test)]
@@ -253,7 +285,9 @@ mod tests {
 
     fn noisy_level(n: usize, level: f64, noise: f64, seed: u64) -> Vec<f64> {
         let mut rng = SmallRng::seed_from_u64(seed);
-        (0..n).map(|_| level + mic_stats::dist::sample_normal(&mut rng, 0.0, noise)).collect()
+        (0..n)
+            .map(|_| level + mic_stats::dist::sample_normal(&mut rng, 0.0, noise))
+            .collect()
     }
 
     fn seasonal_series(n: usize, seed: u64) -> Vec<f64> {
@@ -286,7 +320,10 @@ mod tests {
             "var_eps = {}",
             fit.params.var_eps
         );
-        assert!(fit.params.var_level < fit.params.var_eps, "level var should be tiny");
+        assert!(
+            fit.params.var_level < fit.params.var_eps,
+            "level var should be tiny"
+        );
     }
 
     #[test]
@@ -294,23 +331,39 @@ mod tests {
         let ys = seasonal_series(48, 2);
         let ll = fit_structural(&ys, StructuralSpec::local_level(), &FitOptions::default());
         let lls = fit_structural(&ys, StructuralSpec::with_seasonal(), &FitOptions::default());
-        assert!(lls.aic < ll.aic, "seasonal AIC {} !< LL AIC {}", lls.aic, ll.aic);
+        assert!(
+            lls.aic < ll.aic,
+            "seasonal AIC {} !< LL AIC {}",
+            lls.aic,
+            ll.aic
+        );
     }
 
     #[test]
     fn intervention_model_wins_on_broken_series() {
         let ys = slope_break_series(43, 25, 1.5, 3);
         let ll = fit_structural(&ys, StructuralSpec::local_level(), &FitOptions::default());
-        let lli =
-            fit_structural(&ys, StructuralSpec::with_intervention(25), &FitOptions::default());
-        assert!(lli.aic < ll.aic, "intervention AIC {} !< LL AIC {}", lli.aic, ll.aic);
+        let lli = fit_structural(
+            &ys,
+            StructuralSpec::with_intervention(25),
+            &FitOptions::default(),
+        );
+        assert!(
+            lli.aic < ll.aic,
+            "intervention AIC {} !< LL AIC {}",
+            lli.aic,
+            ll.aic
+        );
     }
 
     #[test]
     fn decomposition_recovers_lambda() {
         let ys = slope_break_series(43, 20, 2.0, 4);
-        let fit =
-            fit_structural(&ys, StructuralSpec::with_intervention(20), &FitOptions::default());
+        let fit = fit_structural(
+            &ys,
+            StructuralSpec::with_intervention(20),
+            &FitOptions::default(),
+        );
         let c = fit.decompose(&ys);
         assert!(
             (c.lambda - 2.0).abs() < 0.4,
@@ -329,10 +382,10 @@ mod tests {
         let ys = seasonal_series(40, 5);
         let fit = fit_structural(&ys, StructuralSpec::with_seasonal(), &FitOptions::default());
         let c = fit.decompose(&ys);
-        for t in 0..40 {
+        for (t, &y) in ys.iter().enumerate() {
             let sum = c.level[t] + c.seasonal[t] + c.intervention[t];
             assert!((c.fitted[t] - sum).abs() < 1e-9);
-            assert!((c.irregular[t] - (ys[t] - sum)).abs() < 1e-9);
+            assert!((c.irregular[t] - (y - sum)).abs() < 1e-9);
         }
     }
 
@@ -342,12 +395,12 @@ mod tests {
         let fit = fit_structural(&ys, StructuralSpec::with_seasonal(), &FitOptions::default());
         let c = fit.decompose(&ys);
         let year_mean: f64 = c.seasonal[12..24].iter().sum::<f64>() / 12.0;
-        let amplitude = c
-            .seasonal
-            .iter()
-            .fold(0.0_f64, |m, &v| m.max(v.abs()));
+        let amplitude = c.seasonal.iter().fold(0.0_f64, |m, &v| m.max(v.abs()));
         assert!(amplitude > 3.0, "seasonal amplitude {amplitude} too small");
-        assert!(year_mean.abs() < 0.35 * amplitude, "annual mean {year_mean} vs amp {amplitude}");
+        assert!(
+            year_mean.abs() < 0.35 * amplitude,
+            "annual mean {year_mean} vs amp {amplitude}"
+        );
     }
 
     #[test]
@@ -356,8 +409,11 @@ mod tests {
         // AIC (the likelihood gain is < the 1-unit penalty, generically).
         let ys = noisy_level(43, 30.0, 1.0, 7);
         let ll = fit_structural(&ys, StructuralSpec::local_level(), &FitOptions::default());
-        let lli =
-            fit_structural(&ys, StructuralSpec::with_intervention(21), &FitOptions::default());
+        let lli = fit_structural(
+            &ys,
+            StructuralSpec::with_intervention(21),
+            &FitOptions::default(),
+        );
         assert!(
             lli.aic > ll.aic - 2.0,
             "intervention should not materially improve a flat series: {} vs {}",
@@ -370,7 +426,11 @@ mod tests {
     fn forecast_continues_seasonal_pattern() {
         let ys = seasonal_series(48, 8);
         let train = &ys[..36];
-        let fit = fit_structural(train, StructuralSpec::with_seasonal(), &FitOptions::default());
+        let fit = fit_structural(
+            train,
+            StructuralSpec::with_seasonal(),
+            &FitOptions::default(),
+        );
         let fc = fit.forecast(train, 12);
         assert_eq!(fc.len(), 12);
         let rmse = mic_stats::rmse(&ys[36..48], &fc);
@@ -388,7 +448,11 @@ mod tests {
         let train = &ys[..36];
         let fit = fit_structural(
             train,
-            StructuralSpec { seasonal: false, intervention: InterventionSpec::SlopeShift { change_point: 20 }, period: 12 },
+            StructuralSpec {
+                seasonal: false,
+                intervention: InterventionSpec::SlopeShift { change_point: 20 },
+                period: 12,
+            },
             &FitOptions::default(),
         );
         let fc = fit.forecast(train, 7);
@@ -401,10 +465,16 @@ mod tests {
     #[test]
     fn lambda_confidence_covers_truth() {
         let ys = slope_break_series(43, 20, 2.0, 12);
-        let fit =
-            fit_structural(&ys, StructuralSpec::with_intervention(20), &FitOptions::default());
+        let fit = fit_structural(
+            &ys,
+            StructuralSpec::with_intervention(20),
+            &FitOptions::default(),
+        );
         let (lo, hi) = fit.lambda_confidence(&ys, 1.96).expect("has intervention");
-        assert!(lo < 2.0 && 2.0 < hi, "95% CI [{lo:.2}, {hi:.2}] should cover λ = 2");
+        assert!(
+            lo < 2.0 && 2.0 < hi,
+            "95% CI [{lo:.2}, {hi:.2}] should cover λ = 2"
+        );
         assert!(hi - lo < 2.0, "CI too wide: [{lo:.2}, {hi:.2}]");
         // No intervention → no interval.
         let ll = fit_structural(&ys, StructuralSpec::local_level(), &FitOptions::default());
@@ -418,7 +488,11 @@ mod tests {
         let fc = fit.forecast_with_variance(&ys, 10);
         assert_eq!(fc.len(), 10);
         for w in fc.windows(2) {
-            assert!(w[1].1 >= w[0].1 - 1e-9, "variance must not shrink: {:?}", fc);
+            assert!(
+                w[1].1 >= w[0].1 - 1e-9,
+                "variance must not shrink: {:?}",
+                fc
+            );
         }
         // Variance at step 1 is at least the observation variance.
         assert!(fc[0].1 >= fit.params.var_eps);
@@ -442,6 +516,10 @@ mod tests {
     #[test]
     #[should_panic(expected = "too short")]
     fn short_series_panics() {
-        fit_structural(&[1.0, 2.0, 3.0], StructuralSpec::with_seasonal(), &FitOptions::default());
+        fit_structural(
+            &[1.0, 2.0, 3.0],
+            StructuralSpec::with_seasonal(),
+            &FitOptions::default(),
+        );
     }
 }

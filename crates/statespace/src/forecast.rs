@@ -63,10 +63,18 @@ impl Default for ForecastOptions {
 ///
 /// # Panics
 /// Panics when `train_len` leaves no test data or is too short to fit.
-pub fn compare_forecasts(ys: &[f64], train_len: usize, opts: &ForecastOptions) -> ForecastComparison {
+pub fn compare_forecasts(
+    ys: &[f64],
+    train_len: usize,
+    opts: &ForecastOptions,
+) -> ForecastComparison {
     assert!(train_len < ys.len(), "no held-out months to forecast");
     let horizon = ys.len() - train_len;
-    let series: Vec<f64> = if opts.normalize { min_max_normalize(ys) } else { ys.to_vec() };
+    let series: Vec<f64> = if opts.normalize {
+        min_max_normalize(ys)
+    } else {
+        ys.to_vec()
+    };
     let train = &series[..train_len];
     let actual = series[train_len..].to_vec();
 
@@ -126,7 +134,11 @@ mod tests {
         assert_eq!(c.horizon, 12);
         assert_eq!(c.structural.len(), 12);
         // Normalised scale: seasonal forecasts should be decent.
-        assert!(c.structural_rmse < 0.25, "structural RMSE = {}", c.structural_rmse);
+        assert!(
+            c.structural_rmse < 0.25,
+            "structural RMSE = {}",
+            c.structural_rmse
+        );
     }
 
     #[test]
@@ -134,7 +146,10 @@ mod tests {
         // Break at month 28, train ends at 31 — the paper's hard case for
         // ARIMA.
         let ys = broken_series(43, 28, 32);
-        let opts = ForecastOptions { seasonal: false, ..Default::default() };
+        let opts = ForecastOptions {
+            seasonal: false,
+            ..Default::default()
+        };
         let c = compare_forecasts(&ys, 31, &opts);
         assert!(
             c.structural_rmse < 0.6,
@@ -146,7 +161,14 @@ mod tests {
     #[test]
     fn normalization_flag_respected() {
         let ys = seasonal_series(43, 33);
-        let raw = compare_forecasts(&ys, 31, &ForecastOptions { normalize: false, ..Default::default() });
+        let raw = compare_forecasts(
+            &ys,
+            31,
+            &ForecastOptions {
+                normalize: false,
+                ..Default::default()
+            },
+        );
         // Unnormalised actuals live on the original scale.
         assert!(raw.actual.iter().any(|&v| v > 10.0));
         let norm = compare_forecasts(&ys, 31, &ForecastOptions::default());

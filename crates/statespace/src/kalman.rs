@@ -43,7 +43,116 @@ impl FilterResult {
     /// One-step-ahead fitted values `ŷ_t = Z_t a_{t|t−1}` reconstructed from
     /// innovations: `ŷ_t = y_t − v_t`.
     pub fn one_step_fitted(&self, ys: &[f64]) -> Vec<f64> {
-        ys.iter().zip(&self.innovations).map(|(y, v)| y - v).collect()
+        ys.iter()
+            .zip(&self.innovations)
+            .map(|(y, v)| y - v)
+            .collect()
+    }
+}
+
+/// Row-compressed view of the transition matrix `T`.
+///
+/// Structural-model transitions are mostly zeros — the 13-state
+/// level + seasonal + λ model has 23 nonzeros out of 169 — so the per-step
+/// `T·P_filt·Tᵀ` products, the filter's dominant cost, are computed from the
+/// nonzeros only: `O(nnz·m)` instead of `O(m³)`. Every output element still
+/// accumulates its surviving terms in ascending-`k` order, and a skipped
+/// term contributes exactly `0.0·x` to a sum, so results are bit-identical
+/// to the dense products (up to the sign of exact zeros).
+#[derive(Clone, Debug, Default)]
+struct SparseTransition {
+    row_ptr: Vec<usize>,
+    col: Vec<usize>,
+    val: Vec<f64>,
+}
+
+impl SparseTransition {
+    /// Rebuild from `t`, reusing existing capacity.
+    fn load(&mut self, t: &Mat) {
+        let (rows, cols) = (t.rows(), t.cols());
+        let data = t.as_slice();
+        self.row_ptr.clear();
+        self.col.clear();
+        self.val.clear();
+        self.row_ptr.push(0);
+        for r in 0..rows {
+            for c in 0..cols {
+                let v = data[r * cols + c];
+                if v != 0.0 {
+                    self.col.push(c);
+                    self.val.push(v);
+                }
+            }
+            self.row_ptr.push(self.col.len());
+        }
+    }
+
+    fn from_mat(t: &Mat) -> SparseTransition {
+        let mut s = SparseTransition::default();
+        s.load(t);
+        s
+    }
+
+    #[inline]
+    fn row(&self, r: usize) -> (&[usize], &[f64]) {
+        let (lo, hi) = (self.row_ptr[r], self.row_ptr[r + 1]);
+        (&self.col[lo..hi], &self.val[lo..hi])
+    }
+
+    /// `T v`, mirroring `Mat::mul_vec_into` minus the zero terms.
+    fn mul_vec_into(&self, v: &[f64], out: &mut [f64]) {
+        debug_assert_eq!(out.len() + 1, self.row_ptr.len());
+        for (r, o) in out.iter_mut().enumerate() {
+            let (cols, vals) = self.row(r);
+            let mut acc = 0.0;
+            for (&c, &x) in cols.iter().zip(vals) {
+                acc += x * v[c];
+            }
+            *o = acc;
+        }
+    }
+
+    /// `T · rhs` into `out`, rows accumulated axpy-style; each element's
+    /// terms still arrive in ascending-`k` order like `Mat::mul_into`.
+    fn mul_into(&self, rhs: &Mat, out: &mut Mat) {
+        let m = rhs.cols();
+        debug_assert_eq!(out.rows() + 1, self.row_ptr.len());
+        debug_assert_eq!(out.cols(), m);
+        let rdat = rhs.as_slice();
+        let odat = out.as_mut_slice();
+        for r in 0..self.row_ptr.len() - 1 {
+            let orow = &mut odat[r * m..(r + 1) * m];
+            orow.fill(0.0);
+            let (cols, vals) = self.row(r);
+            for (&k, &x) in cols.iter().zip(vals) {
+                let rrow = &rdat[k * m..(k + 1) * m];
+                for (o, rv) in orow.iter_mut().zip(rrow) {
+                    *o += x * rv;
+                }
+            }
+        }
+    }
+
+    /// `lhs · Tᵀ` into `out`: `out[i][j] = Σ_k lhs[i][k]·T[j][k]`, ascending
+    /// `k` per element exactly like the dense `lhs.mul_into(&tt, out)`.
+    fn mul_transpose_into(&self, lhs: &Mat, out: &mut Mat) {
+        let m = lhs.cols();
+        let n_rows = self.row_ptr.len() - 1;
+        debug_assert_eq!(out.rows(), lhs.rows());
+        debug_assert_eq!(out.cols(), n_rows);
+        let ldat = lhs.as_slice();
+        let odat = out.as_mut_slice();
+        for i in 0..lhs.rows() {
+            let lrow = &ldat[i * m..(i + 1) * m];
+            for j in 0..n_rows {
+                let (cols, vals) = self.row(j);
+                let mut acc = 0.0;
+                for (&k, &x) in cols.iter().zip(vals) {
+                    acc += lrow[k] * x;
+                }
+                odat[i * n_rows + j] = acc;
+            }
+        }
     }
 }
 
@@ -53,7 +162,10 @@ impl FilterResult {
 /// Panics if the model fails validation or `ys` is empty.
 pub fn kalman_filter(ssm: &Ssm, ys: &[f64]) -> FilterResult {
     debug_assert!(ssm.validate().is_ok(), "invalid SSM: {:?}", ssm.validate());
-    assert!(!ys.is_empty(), "kalman_filter requires at least one observation");
+    assert!(
+        !ys.is_empty(),
+        "kalman_filter requires at least one observation"
+    );
     let m = ssm.state_dim();
     let n = ys.len();
 
@@ -71,6 +183,7 @@ pub fn kalman_filter(ssm: &Ssm, ys: &[f64]) -> FilterResult {
     };
 
     let mut tp = Mat::zeros(m, m); // T * P_filt scratch
+    let st = SparseTransition::from_mat(&ssm.transition); // loop-invariant
     for (t, &y) in ys.iter().enumerate() {
         let z = ssm.loading.at(t);
 
@@ -118,10 +231,12 @@ pub fn kalman_filter(ssm: &Ssm, ys: &[f64]) -> FilterResult {
         out.filtered_covs.push(p_filt.clone());
 
         // Predict next: a = T a_filt; P = T P_filt T' + Q.
-        a_pred = ssm.transition.mul_vec(&a_filt);
-        ssm.transition.mul_into(&p_filt, &mut tp);
-        let tt = ssm.transition.transpose();
-        let mut next_p = &tp * &tt;
+        let mut next_a = vec![0.0; m];
+        st.mul_vec_into(&a_filt, &mut next_a);
+        a_pred = next_a;
+        st.mul_into(&p_filt, &mut tp);
+        let mut next_p = Mat::zeros(m, m);
+        st.mul_transpose_into(&tp, &mut next_p);
         for i in 0..m {
             for j in 0..m {
                 next_p[(i, j)] += ssm.state_cov[(i, j)];
@@ -131,6 +246,153 @@ pub fn kalman_filter(ssm: &Ssm, ys: &[f64]) -> FilterResult {
         p_pred = next_p;
     }
     out
+}
+
+/// Pre-allocated buffers for [`kalman_loglik`], reusable across filter runs.
+///
+/// Maximum-likelihood fitting evaluates the likelihood hundreds of times per
+/// series (Nelder–Mead restarts × evaluations), and a change-point search
+/// performs dozens of such fits — every evaluation needing only the scalar
+/// log-likelihood, not the full [`FilterResult`]. One workspace, created
+/// once per search and threaded through every evaluation, removes all per-run
+/// and per-timestep heap allocation from that path.
+///
+/// Buffers are sized lazily for whatever state dimension the next run needs,
+/// so one workspace can serve models of different dimensions (e.g. the
+/// intervention and no-change models of a change-point search) at the cost
+/// of a single reallocation when the dimension changes.
+#[derive(Clone, Debug, Default)]
+pub struct FilterWorkspace {
+    state_dim: usize,
+    a_pred: Vec<f64>,
+    a_filt: Vec<f64>,
+    pz: Vec<f64>,
+    k: Vec<f64>,
+    p_pred: Mat,
+    p_filt: Mat,
+    tp: Mat,
+    st: SparseTransition,
+}
+
+impl FilterWorkspace {
+    /// Workspace sized for state dimension `m`.
+    pub fn new(m: usize) -> FilterWorkspace {
+        let mut ws = FilterWorkspace::default();
+        ws.ensure_dim(m);
+        ws
+    }
+
+    /// (Re)size the buffers for state dimension `m`; no-op when they already
+    /// fit.
+    fn ensure_dim(&mut self, m: usize) {
+        if self.state_dim == m {
+            return;
+        }
+        self.state_dim = m;
+        self.a_pred = vec![0.0; m];
+        self.a_filt = vec![0.0; m];
+        self.pz = vec![0.0; m];
+        self.k = vec![0.0; m];
+        self.p_pred = Mat::zeros(m, m);
+        self.p_filt = Mat::zeros(m, m);
+        self.tp = Mat::zeros(m, m);
+    }
+}
+
+/// Log-likelihood of `ys` under `ssm` — the same recursion and arithmetic
+/// order as [`kalman_filter`], but computing only the scalar likelihood with
+/// zero heap allocation per timestep (all state lives in `ws`).
+///
+/// Returns exactly `kalman_filter(ssm, ys).loglik` (bit-identical: every
+/// sum is accumulated in the same order). Use this in optimisation loops;
+/// use [`kalman_filter`] when the smoother or forecaster needs the full
+/// state trajectory.
+///
+/// # Panics
+/// Panics if the model fails validation or `ys` is empty.
+pub fn kalman_loglik(ssm: &Ssm, ys: &[f64], ws: &mut FilterWorkspace) -> f64 {
+    debug_assert!(ssm.validate().is_ok(), "invalid SSM: {:?}", ssm.validate());
+    assert!(
+        !ys.is_empty(),
+        "kalman_loglik requires at least one observation"
+    );
+    let m = ssm.state_dim();
+    ws.ensure_dim(m);
+    let FilterWorkspace {
+        a_pred,
+        a_filt,
+        pz,
+        k,
+        p_pred,
+        p_filt,
+        tp,
+        st,
+        ..
+    } = ws;
+
+    a_pred.copy_from_slice(&ssm.a0);
+    p_pred.copy_from(&ssm.p0);
+    // O(m²) scan reusing the workspace's capacity — no allocation once the
+    // workspace has seen a transition of this density.
+    st.load(&ssm.transition);
+
+    let mut loglik = 0.0;
+    for (t, &y) in ys.iter().enumerate() {
+        let z = ssm.loading.at(t);
+
+        // Innovation.
+        let mut zy = 0.0;
+        for i in 0..m {
+            zy += z[i] * a_pred[i];
+        }
+        let v = y - zy;
+        // F = Z P Z' + H.
+        for i in 0..m {
+            let mut acc = 0.0;
+            for j in 0..m {
+                acc += p_pred[(i, j)] * z[j];
+            }
+            pz[i] = acc;
+        }
+        let mut f = ssm.obs_var;
+        for i in 0..m {
+            f += z[i] * pz[i];
+        }
+        // Guard: numerically tiny F can happen with all-zero variances.
+        let f = f.max(1e-12);
+
+        if t >= ssm.n_diffuse && !ssm.extra_skips.contains(&t) {
+            loglik += -0.5 * (LN_2PI + f.ln() + v * v / f);
+        }
+
+        // Update: K = P Z' / F.
+        for i in 0..m {
+            k[i] = pz[i] / f;
+        }
+        for i in 0..m {
+            a_filt[i] = a_pred[i] + k[i] * v;
+        }
+        // P_filt = P − K (P Z')'.
+        p_filt.copy_from(p_pred);
+        for i in 0..m {
+            for j in 0..m {
+                p_filt[(i, j)] -= k[i] * pz[j];
+            }
+        }
+        p_filt.symmetrize();
+
+        // Predict next: a = T a_filt; P = T P_filt T' + Q.
+        st.mul_vec_into(a_filt, a_pred);
+        st.mul_into(p_filt, tp);
+        st.mul_transpose_into(tp, p_pred);
+        for i in 0..m {
+            for j in 0..m {
+                p_pred[(i, j)] += ssm.state_cov[(i, j)];
+            }
+        }
+        p_pred.symmetrize();
+    }
+    loglik
 }
 
 #[cfg(test)]
@@ -204,7 +466,11 @@ mod tests {
             .iter()
             .map(|&y| mic_stats::dist::normal_ln_pdf(y, 1.0, 2.0_f64.sqrt()))
             .sum();
-        assert!((r.loglik - expected).abs() < 1e-9, "{} vs {expected}", r.loglik);
+        assert!(
+            (r.loglik - expected).abs() < 1e-9,
+            "{} vs {expected}",
+            r.loglik
+        );
     }
 
     #[test]
@@ -242,5 +508,59 @@ mod tests {
     #[should_panic(expected = "at least one observation")]
     fn empty_series_panics() {
         kalman_filter(&local_level(1.0, 1.0), &[]);
+    }
+
+    #[test]
+    fn loglik_fast_path_is_bit_identical() {
+        let ys: Vec<f64> = (0..40)
+            .map(|i| 10.0 + (i as f64 * 0.7).sin() * 2.0)
+            .collect();
+        let mut ws = FilterWorkspace::new(1);
+        for ssm in [
+            local_level(1.0, 0.1),
+            local_level(0.3, 2.0),
+            local_level(100.0, 0.001),
+        ] {
+            let full = kalman_filter(&ssm, &ys).loglik;
+            let fast = kalman_loglik(&ssm, &ys, &mut ws);
+            assert_eq!(full.to_bits(), fast.to_bits(), "{full} vs {fast}");
+        }
+    }
+
+    #[test]
+    fn workspace_resizes_across_dimensions() {
+        // One workspace serves a 1-state and a 13-state model back to back.
+        use crate::structural::{StructuralParams, StructuralSpec};
+        let params = StructuralParams {
+            var_eps: 1.0,
+            var_level: 0.1,
+            var_seasonal: 0.01,
+        };
+        let ys: Vec<f64> = (0..30).map(|i| 5.0 + 0.1 * i as f64).collect();
+        let mut ws = FilterWorkspace::new(1);
+        for spec in [StructuralSpec::local_level(), StructuralSpec::full(10)] {
+            let ssm = spec.build(&params, ys.len());
+            let full = kalman_filter(&ssm, &ys).loglik;
+            let fast = kalman_loglik(&ssm, &ys, &mut ws);
+            assert_eq!(full.to_bits(), fast.to_bits());
+        }
+    }
+
+    #[test]
+    fn loglik_fast_path_respects_skips() {
+        let mut ssm = local_level(1.0, 0.1);
+        ssm.n_diffuse = 2;
+        ssm.extra_skips = vec![5, 7];
+        let ys: Vec<f64> = (0..20).map(|i| (i as f64).sqrt()).collect();
+        let mut ws = FilterWorkspace::new(1);
+        let full = kalman_filter(&ssm, &ys).loglik;
+        let fast = kalman_loglik(&ssm, &ys, &mut ws);
+        assert_eq!(full.to_bits(), fast.to_bits());
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one observation")]
+    fn empty_series_panics_fast_path() {
+        kalman_loglik(&local_level(1.0, 1.0), &[], &mut FilterWorkspace::new(1));
     }
 }

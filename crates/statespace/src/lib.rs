@@ -62,14 +62,16 @@ pub mod multi;
 pub mod smoother;
 pub mod structural;
 
-pub use arima::{fit_arima, fit_sarima, select_arima, ArimaFit, ArimaOrder, SarimaFit, SarimaOrder};
+pub use arima::{
+    fit_arima, fit_sarima, select_arima, ArimaFit, ArimaOrder, SarimaFit, SarimaOrder,
+};
 pub use changepoint::{
     approx_change_point, approx_change_point_with, exact_change_point, exact_change_point_with,
     ChangePoint, ChangePointSearch, SelectionCriterion,
 };
 pub use diagnostics::{diagnose_residuals, ResidualDiagnostics};
 pub use estimate::{fit_structural, FitOptions, FittedStructural};
-pub use kalman::{kalman_filter, FilterResult};
+pub use kalman::{kalman_filter, kalman_loglik, FilterResult, FilterWorkspace};
 pub use model::Ssm;
 pub use multi::{detect_multiple, MultiChangePoints, MultiStructuralSpec};
 pub use smoother::{smooth, SmoothResult};

@@ -26,9 +26,9 @@ impl ObsLoading {
     pub fn at(&self, t: usize) -> &[f64] {
         match self {
             ObsLoading::Constant(z) => z,
-            ObsLoading::TimeVarying(zs) => {
-                zs.get(t).unwrap_or_else(|| panic!("Z_t missing for t = {t}"))
-            }
+            ObsLoading::TimeVarying(zs) => zs
+                .get(t)
+                .unwrap_or_else(|| panic!("Z_t missing for t = {t}")),
         }
     }
 
@@ -92,7 +92,10 @@ impl Ssm {
             return Err("state_cov shape mismatch".into());
         }
         if self.loading.dim() != m {
-            return Err(format!("loading dim {} != state dim {m}", self.loading.dim()));
+            return Err(format!(
+                "loading dim {} != state dim {m}",
+                self.loading.dim()
+            ));
         }
         if self.a0.len() != m {
             return Err("a0 length mismatch".into());
@@ -100,7 +103,7 @@ impl Ssm {
         if self.p0.rows() != m || self.p0.cols() != m {
             return Err("p0 shape mismatch".into());
         }
-        if !(self.obs_var >= 0.0) {
+        if self.obs_var.is_nan() || self.obs_var < 0.0 {
             return Err(format!("obs_var must be ≥ 0, got {}", self.obs_var));
         }
         for i in 0..m {

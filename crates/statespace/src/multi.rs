@@ -11,7 +11,7 @@
 //! identifying innovation per intervention).
 
 use crate::estimate::FitOptions;
-use crate::kalman::kalman_filter;
+use crate::kalman::{kalman_filter, kalman_loglik, FilterWorkspace};
 use crate::model::{ObsLoading, Ssm, DIFFUSE_KAPPA};
 use crate::structural::{InterventionSpec, StructuralParams};
 use mic_stats::optimize::{nelder_mead, NelderMeadOptions};
@@ -31,7 +31,11 @@ impl MultiStructuralSpec {
     pub fn new(seasonal: bool, mut change_points: Vec<usize>) -> MultiStructuralSpec {
         change_points.sort_unstable();
         change_points.dedup();
-        MultiStructuralSpec { seasonal, period: 12, change_points }
+        MultiStructuralSpec {
+            seasonal,
+            period: 12,
+            change_points,
+        }
     }
 
     pub fn state_dim(&self) -> usize {
@@ -91,6 +95,19 @@ impl MultiStructuralSpec {
             extra_skips: Vec::new(),
         }
     }
+
+    /// Overwrite the disturbance variances of an SSM built by
+    /// [`MultiStructuralSpec::build`] for this spec (the λ states are
+    /// noise-free, so only the level/seasonal/observation variances depend
+    /// on the parameters). Lets the MLE loop reuse one built model.
+    pub fn apply_params(&self, params: &StructuralParams, ssm: &mut Ssm) {
+        debug_assert_eq!(ssm.state_dim(), self.state_dim());
+        ssm.obs_var = params.var_eps;
+        ssm.state_cov[(0, 0)] = params.var_level;
+        if self.seasonal {
+            ssm.state_cov[(1, 1)] = params.var_seasonal;
+        }
+    }
 }
 
 /// A fitted multi-intervention model.
@@ -115,6 +132,7 @@ fn fit_multi(
     spec: &MultiStructuralSpec,
     opts: &FitOptions,
     budget_k: usize,
+    ws: &mut FilterWorkspace,
 ) -> FittedMulti {
     let n = ys.len();
     let base_dim = spec.lambda_base();
@@ -149,14 +167,17 @@ fn fit_multi(
 
     let var_y = sample_variance(ys).max(1e-6);
     let n_var = spec.n_variance_params();
-    let objective = |x: &[f64]| -> f64 {
+    // One model built per fit; evaluations rewrite only the variances and
+    // run the allocation-free likelihood path.
+    let mut ssm = spec.build(&log_params(&[], var_y), n);
+    ssm.n_diffuse = lead;
+    ssm.extra_skips = extra.clone();
+    let mut objective = |x: &[f64]| -> f64 {
         let params = log_params(x, var_y);
-        let mut ssm = spec.build(&params, n);
-        ssm.n_diffuse = lead;
-        ssm.extra_skips = extra.clone();
-        let f = kalman_filter(&ssm, ys);
-        if f.loglik.is_finite() {
-            -f.loglik
+        spec.apply_params(&params, &mut ssm);
+        let loglik = kalman_loglik(&ssm, ys, ws);
+        if loglik.is_finite() {
+            -loglik
         } else {
             f64::INFINITY
         }
@@ -169,15 +190,13 @@ fn fit_multi(
         x_tol: 1e-6,
         initial_step: 1.0,
     };
-    let r = nelder_mead(objective, &x0, &nm);
+    let r = nelder_mead(&mut objective, &x0, &nm);
     let params = log_params(&r.x, var_y);
     let loglik = -r.fx;
     // AIC: q = state_dim (every state diffuse), w = variances.
     let k = spec.state_dim() + n_var;
-    // Smoothed λs.
-    let mut ssm = spec.build(&params, n);
-    ssm.n_diffuse = lead;
-    ssm.extra_skips = extra;
+    // Smoothed λs (full filter pass — only for the winning parameters).
+    spec.apply_params(&params, &mut ssm);
     let f = kalman_filter(&ssm, ys);
     let smoothed = crate::smoother::smooth(&ssm, &f);
     let lb = spec.lambda_base();
@@ -196,8 +215,18 @@ fn fit_multi(
 fn log_params(x: &[f64], var_y: f64) -> StructuralParams {
     let lo = (var_y * 1e-10).ln();
     let hi = (var_y * 1e4).ln().max(lo + 1.0);
-    let v = |i: usize| if i < x.len() { x[i].clamp(lo, hi).exp() } else { 0.0 };
-    StructuralParams { var_eps: v(0), var_level: v(1), var_seasonal: v(2) }
+    let v = |i: usize| {
+        if i < x.len() {
+            x[i].clamp(lo, hi).exp()
+        } else {
+            0.0
+        }
+    };
+    StructuralParams {
+        var_eps: v(0),
+        var_level: v(1),
+        var_seasonal: v(2),
+    }
 }
 
 /// Result of the greedy multi-change-point search.
@@ -231,7 +260,15 @@ pub fn detect_multiple(
     // the same scored set.
     let budget = max_points.min((n.saturating_sub(lead + 3)) / 2);
     let mut accepted: Vec<usize> = Vec::new();
-    let empty = fit_multi(ys, &MultiStructuralSpec::new(seasonal, vec![]), opts, budget);
+    // One filter workspace serves every fit of the greedy search.
+    let mut ws = FilterWorkspace::new(lead + 1);
+    let empty = fit_multi(
+        ys,
+        &MultiStructuralSpec::new(seasonal, vec![]),
+        opts,
+        budget,
+        &mut ws,
+    );
     let mut best_aic = empty.aic;
     let mut best_fit = empty;
     let mut aic_trace = vec![best_aic];
@@ -251,7 +288,13 @@ pub fn detect_multiple(
             }
             let mut pts = accepted.clone();
             pts.push(cp);
-            let fit = fit_multi(ys, &MultiStructuralSpec::new(seasonal, pts), opts, budget);
+            let fit = fit_multi(
+                ys,
+                &MultiStructuralSpec::new(seasonal, pts),
+                opts,
+                budget,
+                &mut ws,
+            );
             if round_best.as_ref().is_none_or(|(_, b)| fit.aic < b.aic) {
                 round_best = Some((cp, fit));
             }
@@ -279,7 +322,12 @@ pub fn detect_multiple(
         .copied()
         .zip(best_fit.lambdas.iter().copied())
         .collect();
-    MultiChangePoints { points, aic: best_aic, aic_trace, fit: best_fit }
+    MultiChangePoints {
+        points,
+        aic: best_aic,
+        aic_trace,
+        fit: best_fit,
+    }
 }
 
 #[cfg(test)]
@@ -300,7 +348,10 @@ mod tests {
     }
 
     fn opts() -> FitOptions {
-        FitOptions { max_evals: 200, n_starts: 1 }
+        FitOptions {
+            max_evals: 200,
+            n_starts: 1,
+        }
     }
 
     #[test]
@@ -310,7 +361,11 @@ mod tests {
         assert_eq!(spec.state_dim(), 3);
         let seasonal = MultiStructuralSpec::new(true, vec![7]);
         assert_eq!(seasonal.state_dim(), 13);
-        let params = StructuralParams { var_eps: 1.0, var_level: 0.1, var_seasonal: 0.01 };
+        let params = StructuralParams {
+            var_eps: 1.0,
+            var_level: 0.1,
+            var_seasonal: 0.01,
+        };
         assert!(spec.build(&params, 40).validate().is_ok());
         assert!(seasonal.build(&params, 40).validate().is_ok());
     }
@@ -349,8 +404,9 @@ mod tests {
     #[test]
     fn flat_series_finds_nothing() {
         let mut rng = SmallRng::seed_from_u64(7);
-        let ys: Vec<f64> =
-            (0..43).map(|_| 10.0 + mic_stats::dist::sample_normal(&mut rng, 0.0, 1.0)).collect();
+        let ys: Vec<f64> = (0..43)
+            .map(|_| 10.0 + mic_stats::dist::sample_normal(&mut rng, 0.0, 1.0))
+            .collect();
         let r = detect_multiple(&ys, false, 3, &opts());
         assert!(r.points.is_empty(), "found {:?}", r.points);
         assert_eq!(r.aic_trace.len(), 1);

@@ -39,26 +39,39 @@ pub fn smooth(ssm: &Ssm, filter: &FilterResult) -> SmoothResult {
         let p_pred_next = &filter.predicted_covs[t + 1];
         // Solve P_{t+1|t} X = (P_{t|t} T')' column-wise for J' then transpose.
         let pt = p_filt * &tt; // m × m, equals P_{t|t} T'
-        // Ridge-regularised predicted covariance for solvability.
-        let mut reg = p_pred_next.clone();
-        for i in 0..m {
-            reg[(i, i)] += 1e-10;
-        }
-        // J = pt * reg^{-1}  ⇒  J' = reg^{-1} pt' (reg symmetric).
         let ptt = pt.transpose();
+        // Ridge-regularised predicted covariance for solvability. The first
+        // attempt keeps the historical 1e-10 ridge (results unchanged
+        // wherever it sufficed); near-singular covariances — e.g. an MLE
+        // that drove every disturbance variance to ~0 on a short seasonal
+        // series — get progressively stronger, scale-aware ridges. If none
+        // solves, J stays 0 and the smoothed state falls back to the
+        // filtered state at this step, instead of panicking.
+        let scale = (0..m)
+            .map(|i| p_pred_next[(i, i)].abs())
+            .fold(1.0_f64, f64::max);
         let mut j = Mat::zeros(m, m);
-        for col in 0..m {
-            let rhs: Vec<f64> = (0..m).map(|row| ptt[(row, col)]).collect();
-            let x = reg
-                .cholesky_solve(&rhs)
-                .or_else(|| reg.solve(&rhs))
-                .expect("predicted covariance must be solvable");
-            for row in 0..m {
-                // x is column `col` of J' ⇒ J[col][row]... careful:
-                // J' column col = x  ⇒  J row col entries: J[(col, row)] = x[row]? No:
-                // (J')_{row,col} = J_{col,row} = x[row].
-                j[(col, row)] = x[row];
+        'attempt: for ridge in [1e-10, 1e-10 * scale, 1e-6 * scale] {
+            let mut reg = p_pred_next.clone();
+            for i in 0..m {
+                reg[(i, i)] += ridge;
             }
+            // J = pt * reg^{-1}  ⇒  J' = reg^{-1} pt' (reg symmetric).
+            let mut cols: Vec<Vec<f64>> = Vec::with_capacity(m);
+            for col in 0..m {
+                let rhs: Vec<f64> = (0..m).map(|row| ptt[(row, col)]).collect();
+                match reg.cholesky_solve(&rhs).or_else(|| reg.solve(&rhs)) {
+                    Some(x) if x.iter().all(|v| v.is_finite()) => cols.push(x),
+                    _ => continue 'attempt,
+                }
+            }
+            for (col, x) in cols.iter().enumerate() {
+                for row in 0..m {
+                    // x is column `col` of J': (J')_{row,col} = J_{col,row} = x[row].
+                    j[(col, row)] = x[row];
+                }
+            }
+            break;
         }
         // â_t = a_{t|t} + J (â_{t+1} − a_{t+1|t}).
         let diff: Vec<f64> = (0..m)
@@ -102,6 +115,70 @@ mod tests {
     }
 
     #[test]
+    fn degenerate_variances_smooth_without_panicking() {
+        // An MLE run can drive every disturbance variance to ~0 on a short
+        // seasonal series; the near-diffuse predicted covariance then
+        // collapses to numerically singular and the gain solve fails. The
+        // smoother must degrade to the filtered states, not panic.
+        use crate::structural::{StructuralParams, StructuralSpec};
+        let spec = StructuralSpec::with_seasonal();
+        let params = StructuralParams {
+            var_eps: 0.0,
+            var_level: 0.0,
+            var_seasonal: 0.0,
+        };
+        let ys: Vec<f64> = (0..24).map(|t| 10.0 + ((t % 12) as f64)).collect();
+        let ssm = spec.build(&params, ys.len());
+        let f = kalman_filter(&ssm, &ys);
+        let s = smooth(&ssm, &f);
+        assert_eq!(s.means.len(), ys.len());
+    }
+
+    #[test]
+    fn short_sparse_series_decomposes_without_panicking() {
+        // Captured from a 24-month simulated pipeline run: the approximate
+        // change-point search selects a full (level+seasonal+intervention)
+        // model whose MLE makes the ridge-regularised predicted covariance
+        // unsolvable inside the smoother, which used to panic the whole
+        // `analyze` run. The decomposition must complete instead.
+        use crate::changepoint::approx_change_point;
+        use crate::estimate::FitOptions;
+        let ys = [
+            4.1566590253032825,
+            0.0,
+            0.14626913080666348,
+            0.0,
+            0.0,
+            0.0,
+            0.002377923020991996,
+            1.9769916969532235,
+            0.18970369872154108,
+            1.7320654368658321,
+            3.7490343033431803,
+            0.001769935695203741,
+            3.337288214371594,
+            0.0,
+            0.0,
+            0.0,
+            0.0,
+            0.0,
+            0.9999091711814458,
+            2.1710154268971253,
+            0.6566207402766422,
+            0.000623398104804423,
+            8.38478124461008,
+            3.854943299773911,
+        ];
+        let opts = FitOptions {
+            max_evals: 150,
+            n_starts: 1,
+        };
+        let search = approx_change_point(&ys, true, &opts);
+        let c = search.fit.decompose(&ys);
+        assert!(c.lambda.is_finite(), "lambda = {}", c.lambda);
+    }
+
+    #[test]
     fn smoother_matches_filter_at_last_point() {
         let ssm = local_level(1.0, 0.3);
         let ys: Vec<f64> = (0..25).map(|i| (i as f64 * 0.7).sin() * 3.0).collect();
@@ -137,7 +214,11 @@ mod tests {
         let f = kalman_filter(&ssm, &ys);
         let s = smooth(&ssm, &f);
         for t in 0..20 {
-            assert!((s.means[t][0] - 7.0).abs() < 1e-4, "t = {t}: {}", s.means[t][0]);
+            assert!(
+                (s.means[t][0] - 7.0).abs() < 1e-4,
+                "t = {t}: {}",
+                s.means[t][0]
+            );
         }
     }
 
@@ -145,14 +226,19 @@ mod tests {
     fn smoothed_level_is_smoother_than_data() {
         // Noisy constant: total variation of smoothed level must be far
         // below that of the data.
-        let ys: Vec<f64> =
-            (0..40).map(|i| 5.0 + if i % 2 == 0 { 1.0 } else { -1.0 }).collect();
+        let ys: Vec<f64> = (0..40)
+            .map(|i| 5.0 + if i % 2 == 0 { 1.0 } else { -1.0 })
+            .collect();
         let ssm = local_level(1.0, 0.01);
         let f = kalman_filter(&ssm, &ys);
         let s = smooth(&ssm, &f);
         let tv_data: f64 = ys.windows(2).map(|w| (w[1] - w[0]).abs()).sum();
-        let tv_smooth: f64 =
-            (1..40).map(|t| (s.means[t][0] - s.means[t - 1][0]).abs()).sum();
-        assert!(tv_smooth < 0.2 * tv_data, "smoothed TV {tv_smooth} vs data TV {tv_data}");
+        let tv_smooth: f64 = (1..40)
+            .map(|t| (s.means[t][0] - s.means[t - 1][0]).abs())
+            .sum();
+        assert!(
+            tv_smooth < 0.2 * tv_data,
+            "smoothed TV {tv_smooth} vs data TV {tv_data}"
+        );
     }
 }

@@ -59,12 +59,20 @@ pub struct StructuralSpec {
 impl StructuralSpec {
     /// Local level only.
     pub fn local_level() -> StructuralSpec {
-        StructuralSpec { seasonal: false, intervention: InterventionSpec::None, period: 12 }
+        StructuralSpec {
+            seasonal: false,
+            intervention: InterventionSpec::None,
+            period: 12,
+        }
     }
 
     /// Local level + seasonal.
     pub fn with_seasonal() -> StructuralSpec {
-        StructuralSpec { seasonal: true, intervention: InterventionSpec::None, period: 12 }
+        StructuralSpec {
+            seasonal: true,
+            intervention: InterventionSpec::None,
+            period: 12,
+        }
     }
 
     /// Local level + intervention.
@@ -166,6 +174,20 @@ impl StructuralSpec {
             extra_skips: Vec::new(),
         }
     }
+
+    /// Overwrite the disturbance variances of an SSM previously produced by
+    /// [`StructuralSpec::build`] for this spec. Only the variances depend on
+    /// the parameters — transition, loadings, and initial state are fixed by
+    /// the spec — so MLE objective evaluations can reuse one built model
+    /// instead of rebuilding (and reallocating) it per likelihood call.
+    pub fn apply_params(&self, params: &StructuralParams, ssm: &mut Ssm) {
+        debug_assert_eq!(ssm.state_dim(), self.state_dim());
+        ssm.obs_var = params.var_eps;
+        ssm.state_cov[(0, 0)] = params.var_level;
+        if let Some(s0) = self.seasonal_index() {
+            ssm.state_cov[(s0, s0)] = params.var_seasonal;
+        }
+    }
 }
 
 /// Disturbance variances of the structural model.
@@ -210,7 +232,9 @@ impl Components {
     /// (seasonal + irregular remain).
     pub fn detrended(&self, ys: &[f64]) -> Vec<f64> {
         assert_eq!(ys.len(), self.level.len());
-        (0..ys.len()).map(|t| ys[t] - self.level[t] - self.intervention[t]).collect()
+        (0..ys.len())
+            .map(|t| ys[t] - self.level[t] - self.intervention[t])
+            .collect()
     }
 
     /// Build from smoothed states.
@@ -244,7 +268,14 @@ impl Components {
             fitted.push(f);
             irregular.push(y - f);
         }
-        Components { level, seasonal, intervention, fitted, irregular, lambda }
+        Components {
+            level,
+            seasonal,
+            intervention,
+            fitted,
+            irregular,
+            lambda,
+        }
     }
 }
 
@@ -280,7 +311,11 @@ mod tests {
 
     #[test]
     fn built_models_validate() {
-        let params = StructuralParams { var_eps: 1.0, var_level: 0.1, var_seasonal: 0.01 };
+        let params = StructuralParams {
+            var_eps: 1.0,
+            var_level: 0.1,
+            var_seasonal: 0.01,
+        };
         for spec in [
             StructuralSpec::local_level(),
             StructuralSpec::with_seasonal(),
@@ -298,7 +333,11 @@ mod tests {
     fn seasonal_transition_sums_to_zero_over_cycle() {
         // Seasonal states propagated 12 steps with no noise must return to
         // their starting pattern (the dummy-seasonal identity).
-        let params = StructuralParams { var_eps: 1.0, var_level: 0.0, var_seasonal: 0.0 };
+        let params = StructuralParams {
+            var_eps: 1.0,
+            var_level: 0.0,
+            var_seasonal: 0.0,
+        };
         let spec = StructuralSpec::with_seasonal();
         let ssm = spec.build(&params, 1);
         // Start from an arbitrary zero-sum seasonal pattern.
@@ -325,7 +364,11 @@ mod tests {
 
     #[test]
     fn intervention_loading_carries_w() {
-        let params = StructuralParams { var_eps: 1.0, var_level: 0.1, var_seasonal: 0.01 };
+        let params = StructuralParams {
+            var_eps: 1.0,
+            var_level: 0.1,
+            var_seasonal: 0.01,
+        };
         let spec = StructuralSpec::full(3);
         let ssm = spec.build(&params, 8);
         assert_eq!(ssm.loading.at(2)[12], 0.0);
@@ -379,10 +422,10 @@ mod tests {
         let c = Components::from_smoothed(&spec, &means, &ys);
         assert_eq!(c.lambda, 2.0);
         assert_eq!(c.intervention, vec![0.0, 0.0, 2.0, 4.0, 6.0]);
-        for t in 0..n {
+        for (t, &y) in ys.iter().enumerate() {
             let expect = c.level[t] + c.seasonal[t] + c.intervention[t];
             assert!((c.fitted[t] - expect).abs() < 1e-12);
-            assert!((c.irregular[t] - (ys[t] - expect)).abs() < 1e-12);
+            assert!((c.irregular[t] - (y - expect)).abs() < 1e-12);
         }
     }
 }

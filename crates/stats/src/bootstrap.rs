@@ -89,7 +89,10 @@ mod tests {
         let true_mean = mean(&xs);
         let dist = bootstrap_statistic(&xs, 10, 400, 3, mean);
         let (lo, hi) = percentile_interval(&dist, 0.05);
-        assert!(lo < true_mean && true_mean < hi, "[{lo}, {hi}] vs {true_mean}");
+        assert!(
+            lo < true_mean && true_mean < hi,
+            "[{lo}, {hi}] vs {true_mean}"
+        );
         assert!(hi - lo < 1.0, "interval too wide: {}", hi - lo);
     }
 
@@ -97,13 +100,20 @@ mod tests {
     fn blocks_preserve_autocorrelation_better_than_iid() {
         let xs = ar1(400, 0.8, 4);
         let rho = autocorrelation(&xs, 1);
-        let block_rho = mean(&bootstrap_statistic(&xs, 25, 100, 5, |s| autocorrelation(s, 1)));
-        let iid_rho = mean(&bootstrap_statistic(&xs, 1, 100, 6, |s| autocorrelation(s, 1)));
+        let block_rho = mean(&bootstrap_statistic(&xs, 25, 100, 5, |s| {
+            autocorrelation(s, 1)
+        }));
+        let iid_rho = mean(&bootstrap_statistic(&xs, 1, 100, 6, |s| {
+            autocorrelation(s, 1)
+        }));
         assert!(
             (block_rho - rho).abs() < (iid_rho - rho).abs(),
             "block ρ̂ {block_rho:.3} should beat iid ρ̂ {iid_rho:.3} (target {rho:.3})"
         );
-        assert!(iid_rho.abs() < 0.2, "iid resampling destroys autocorrelation");
+        assert!(
+            iid_rho.abs() < 0.2,
+            "iid resampling destroys autocorrelation"
+        );
     }
 
     #[test]

@@ -63,7 +63,13 @@ impl Summary {
     pub fn of(xs: &[f64]) -> Summary {
         let n = xs.len();
         if n == 0 {
-            return Summary { n: 0, mean: f64::NAN, sd: f64::NAN, min: f64::NAN, max: f64::NAN };
+            return Summary {
+                n: 0,
+                mean: f64::NAN,
+                sd: f64::NAN,
+                min: f64::NAN,
+                max: f64::NAN,
+            };
         }
         // Welford's algorithm: numerically stable single pass.
         let mut mean = 0.0;
@@ -77,8 +83,18 @@ impl Summary {
             min = min.min(x);
             max = max.max(x);
         }
-        let sd = if n > 1 { (m2 / (n - 1) as f64).sqrt() } else { f64::NAN };
-        Summary { n, mean, sd, min, max }
+        let sd = if n > 1 {
+            (m2 / (n - 1) as f64).sqrt()
+        } else {
+            f64::NAN
+        };
+        Summary {
+            n,
+            mean,
+            sd,
+            min,
+            max,
+        }
     }
 }
 

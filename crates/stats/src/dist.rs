@@ -83,7 +83,10 @@ pub fn sample_normal<R: Rng + ?Sized>(rng: &mut R, mean: f64, sd: f64) -> f64 {
 /// Draw from `Gamma(shape, scale)` using Marsaglia–Tsang, with the
 /// `shape < 1` boost.
 pub fn sample_gamma<R: Rng + ?Sized>(rng: &mut R, shape: f64, scale: f64) -> f64 {
-    assert!(shape > 0.0 && scale > 0.0, "gamma requires positive shape/scale");
+    assert!(
+        shape > 0.0 && scale > 0.0,
+        "gamma requires positive shape/scale"
+    );
     if shape < 1.0 {
         // Boost: X ~ Gamma(a+1), U^{1/a} * X ~ Gamma(a).
         let u: f64 = rng.gen_range(f64::MIN_POSITIVE..1.0);
@@ -162,11 +165,17 @@ impl AliasTable {
     /// Panics if `weights` is empty, contains a negative/NaN value, or sums
     /// to zero.
     pub fn new(weights: &[f64]) -> Self {
-        assert!(!weights.is_empty(), "AliasTable requires at least one weight");
+        assert!(
+            !weights.is_empty(),
+            "AliasTable requires at least one weight"
+        );
         let total: f64 = weights
             .iter()
             .map(|&w| {
-                assert!(w >= 0.0 && w.is_finite(), "weights must be finite and non-negative");
+                assert!(
+                    w >= 0.0 && w.is_finite(),
+                    "weights must be finite and non-negative"
+                );
                 w
             })
             .sum();
@@ -224,7 +233,10 @@ impl AliasTable {
 /// one-off draws where building an [`AliasTable`] is not worth it.
 pub fn sample_categorical<R: Rng + ?Sized>(rng: &mut R, weights: &[f64]) -> usize {
     let total: f64 = weights.iter().sum();
-    assert!(total > 0.0, "sample_categorical requires positive total weight");
+    assert!(
+        total > 0.0,
+        "sample_categorical requires positive total weight"
+    );
     let mut u = rng.gen_range(0.0..total);
     for (i, &w) in weights.iter().enumerate() {
         if u < w {
@@ -326,9 +338,14 @@ mod tests {
         let mut r = rng();
         for &lambda in &[0.5, 4.0, 60.0] {
             let n = 20_000;
-            let mean =
-                (0..n).map(|_| sample_poisson(&mut r, lambda) as f64).sum::<f64>() / n as f64;
-            assert!((mean - lambda).abs() < 0.05 * lambda.max(1.0) + 0.05, "lambda {lambda} mean {mean}");
+            let mean = (0..n)
+                .map(|_| sample_poisson(&mut r, lambda) as f64)
+                .sum::<f64>()
+                / n as f64;
+            assert!(
+                (mean - lambda).abs() < 0.05 * lambda.max(1.0) + 0.05,
+                "lambda {lambda} mean {mean}"
+            );
         }
     }
 
@@ -351,7 +368,10 @@ mod tests {
         for (i, &c) in counts.iter().enumerate() {
             let expected = weights[i] / 10.0;
             let got = c as f64 / n as f64;
-            assert!((got - expected).abs() < 0.01, "idx {i}: {got} vs {expected}");
+            assert!(
+                (got - expected).abs() < 0.01,
+                "idx {i}: {got} vs {expected}"
+            );
         }
     }
 

@@ -11,7 +11,11 @@ use crate::descriptive::{mean, sample_sd};
 /// Returns `0.0` when both the mean difference and its SD are zero, and
 /// `±inf` when only the SD is zero.
 pub fn cohen_d_paired(a: &[f64], b: &[f64]) -> f64 {
-    assert_eq!(a.len(), b.len(), "cohen_d_paired needs equal-length samples");
+    assert_eq!(
+        a.len(),
+        b.len(),
+        "cohen_d_paired needs equal-length samples"
+    );
     assert!(a.len() >= 2, "cohen_d_paired needs at least 2 pairs");
     let diffs: Vec<f64> = a.iter().zip(b).map(|(x, y)| x - y).collect();
     let m = mean(&diffs);
@@ -106,11 +110,11 @@ pub fn cohen_kappa<const K: usize>(m: &[[u64; K]; K]) -> f64 {
     let n = total as f64;
     let mut po = 0.0;
     let mut pe = 0.0;
-    for i in 0..K {
-        po += m[i][i] as f64 / n;
-        let row: u64 = m[i].iter().sum();
-        let col: u64 = (0..K).map(|j| m[j][i]).sum();
-        pe += (row as f64 / n) * (col as f64 / n);
+    for (i, row) in m.iter().enumerate() {
+        po += row[i] as f64 / n;
+        let row_total: u64 = row.iter().sum();
+        let col_total: u64 = (0..K).map(|j| m[j][i]).sum();
+        pe += (row_total as f64 / n) * (col_total as f64 / n);
     }
     if (1.0 - pe).abs() < 1e-15 {
         // Degenerate: chance agreement is total; kappa defined as 1 when the

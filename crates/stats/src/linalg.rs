@@ -10,7 +10,7 @@ use std::fmt;
 use std::ops::{Add, Index, IndexMut, Mul, Sub};
 
 /// Dense row-major matrix of `f64`.
-#[derive(Clone, PartialEq)]
+#[derive(Clone, Default, PartialEq)]
 pub struct Mat {
     rows: usize,
     cols: usize,
@@ -34,7 +34,11 @@ impl fmt::Debug for Mat {
 impl Mat {
     /// All-zero matrix.
     pub fn zeros(rows: usize, cols: usize) -> Self {
-        Mat { rows, cols, data: vec![0.0; rows * cols] }
+        Mat {
+            rows,
+            cols,
+            data: vec![0.0; rows * cols],
+        }
     }
 
     /// Identity matrix of size `n`.
@@ -65,7 +69,11 @@ impl Mat {
             assert_eq!(row.len(), c, "ragged rows in Mat::from_rows");
             data.extend_from_slice(row);
         }
-        Mat { rows: r, cols: c, data }
+        Mat {
+            rows: r,
+            cols: c,
+            data,
+        }
     }
 
     /// Build from a flat row-major vec.
@@ -76,7 +84,11 @@ impl Mat {
 
     /// Column vector from a slice.
     pub fn col_vec(values: &[f64]) -> Self {
-        Mat { rows: values.len(), cols: 1, data: values.to_vec() }
+        Mat {
+            rows: values.len(),
+            cols: 1,
+            data: values.to_vec(),
+        }
     }
 
     pub fn rows(&self) -> usize {
@@ -100,12 +112,20 @@ impl Mat {
     /// Transposed copy.
     pub fn transpose(&self) -> Mat {
         let mut out = Mat::zeros(self.cols, self.rows);
+        self.transpose_into(&mut out);
+        out
+    }
+
+    /// Transpose written into a pre-allocated `out` (must be cols × rows).
+    /// Lets the Kalman fast path hoist `Tᵀ` without allocating.
+    pub fn transpose_into(&self, out: &mut Mat) {
+        assert_eq!(out.rows, self.cols, "dim mismatch in transpose_into");
+        assert_eq!(out.cols, self.rows, "dim mismatch in transpose_into");
         for r in 0..self.rows {
             for c in 0..self.cols {
-                out[(c, r)] = self[(r, c)];
+                out.data[c * out.cols + r] = self.data[r * self.cols + c];
             }
         }
-        out
     }
 
     /// Matrix product `self * rhs` written into a pre-allocated `out`
@@ -127,16 +147,31 @@ impl Mat {
 
     /// `self * v` for a vector `v` (len = cols), returning a fresh Vec.
     pub fn mul_vec(&self, v: &[f64]) -> Vec<f64> {
-        assert_eq!(self.cols, v.len(), "dim mismatch in mul_vec");
         let mut out = vec![0.0; self.rows];
-        for r in 0..self.rows {
-            let mut acc = 0.0;
-            for k in 0..self.cols {
-                acc += self.data[r * self.cols + k] * v[k];
-            }
-            out[r] = acc;
-        }
+        self.mul_vec_into(v, &mut out);
         out
+    }
+
+    /// `self * v` written into a pre-allocated `out` (len = rows). `v` and
+    /// `out` must not alias. Same accumulation order as [`Mat::mul_vec`], so
+    /// results are bit-identical.
+    pub fn mul_vec_into(&self, v: &[f64], out: &mut [f64]) {
+        assert_eq!(self.cols, v.len(), "dim mismatch in mul_vec");
+        assert_eq!(self.rows, out.len(), "dim mismatch in mul_vec");
+        for (r, o) in out.iter_mut().enumerate() {
+            let mut acc = 0.0;
+            for (k, &vk) in v.iter().enumerate() {
+                acc += self.data[r * self.cols + k] * vk;
+            }
+            *o = acc;
+        }
+    }
+
+    /// Copy another matrix's contents into this one (shapes must match).
+    pub fn copy_from(&mut self, other: &Mat) {
+        assert_eq!(self.rows, other.rows, "dim mismatch in copy_from");
+        assert_eq!(self.cols, other.cols, "dim mismatch in copy_from");
+        self.data.copy_from_slice(&other.data);
     }
 
     /// Scale every element by `s` in place.
@@ -164,12 +199,12 @@ impl Mat {
         assert_eq!(self.rows, self.cols);
         assert_eq!(z.len(), self.rows);
         let mut acc = 0.0;
-        for r in 0..self.rows {
+        for (r, &zr) in z.iter().enumerate() {
             let mut inner = 0.0;
-            for c in 0..self.cols {
-                inner += self.data[r * self.cols + c] * z[c];
+            for (c, &zc) in z.iter().enumerate() {
+                inner += self.data[r * self.cols + c] * zc;
             }
-            acc += z[r] * inner;
+            acc += zr * inner;
         }
         acc
     }
@@ -322,8 +357,17 @@ impl Add<&Mat> for &Mat {
     fn add(self, rhs: &Mat) -> Mat {
         assert_eq!(self.rows, rhs.rows);
         assert_eq!(self.cols, rhs.cols);
-        let data = self.data.iter().zip(&rhs.data).map(|(a, b)| a + b).collect();
-        Mat { rows: self.rows, cols: self.cols, data }
+        let data = self
+            .data
+            .iter()
+            .zip(&rhs.data)
+            .map(|(a, b)| a + b)
+            .collect();
+        Mat {
+            rows: self.rows,
+            cols: self.cols,
+            data,
+        }
     }
 }
 
@@ -332,8 +376,17 @@ impl Sub<&Mat> for &Mat {
     fn sub(self, rhs: &Mat) -> Mat {
         assert_eq!(self.rows, rhs.rows);
         assert_eq!(self.cols, rhs.cols);
-        let data = self.data.iter().zip(&rhs.data).map(|(a, b)| a - b).collect();
-        Mat { rows: self.rows, cols: self.cols, data }
+        let data = self
+            .data
+            .iter()
+            .zip(&rhs.data)
+            .map(|(a, b)| a - b)
+            .collect();
+        Mat {
+            rows: self.rows,
+            cols: self.cols,
+            data,
+        }
     }
 }
 
@@ -373,8 +426,37 @@ mod tests {
     }
 
     #[test]
+    fn transpose_into_matches_transpose() {
+        let a = Mat::from_rows(&[vec![1.0, 2.0, 3.0], vec![4.0, 5.0, 6.0]]);
+        let mut out = Mat::zeros(3, 2);
+        a.transpose_into(&mut out);
+        assert_eq!(out, a.transpose());
+    }
+
+    #[test]
+    fn mul_vec_into_matches_mul_vec() {
+        let a = Mat::from_rows(&[vec![1.0, -1.0], vec![2.0, 0.5]]);
+        let v = [3.0, 4.0];
+        let mut out = [0.0; 2];
+        a.mul_vec_into(&v, &mut out);
+        assert_eq!(out.to_vec(), a.mul_vec(&v));
+    }
+
+    #[test]
+    fn copy_from_replaces_contents() {
+        let a = Mat::from_rows(&[vec![1.0, 2.0], vec![3.0, 4.0]]);
+        let mut b = Mat::zeros(2, 2);
+        b.copy_from(&a);
+        assert_eq!(b, a);
+    }
+
+    #[test]
     fn cholesky_round_trip() {
-        let a = Mat::from_rows(&[vec![4.0, 2.0, 0.6], vec![2.0, 5.0, 1.5], vec![0.6, 1.5, 9.0]]);
+        let a = Mat::from_rows(&[
+            vec![4.0, 2.0, 0.6],
+            vec![2.0, 5.0, 1.5],
+            vec![0.6, 1.5, 9.0],
+        ]);
         let l = a.cholesky().expect("SPD");
         let lt = l.transpose();
         let back = &l * &lt;
@@ -402,7 +484,11 @@ mod tests {
 
     #[test]
     fn solve_general_system() {
-        let a = Mat::from_rows(&[vec![0.0, 2.0, 1.0], vec![1.0, -1.0, 0.0], vec![3.0, 0.0, -2.0]]);
+        let a = Mat::from_rows(&[
+            vec![0.0, 2.0, 1.0],
+            vec![1.0, -1.0, 0.0],
+            vec![3.0, 0.0, -2.0],
+        ]);
         let x_true = [1.5, -2.0, 0.5];
         let b = a.mul_vec(&x_true);
         let x = a.solve(&b).expect("non-singular");

@@ -6,23 +6,44 @@
 /// # Panics
 /// Panics on length mismatch or empty input.
 pub fn rmse(actual: &[f64], predicted: &[f64]) -> f64 {
-    assert_eq!(actual.len(), predicted.len(), "rmse needs equal-length slices");
+    assert_eq!(
+        actual.len(),
+        predicted.len(),
+        "rmse needs equal-length slices"
+    );
     assert!(!actual.is_empty(), "rmse needs at least one point");
-    let sse: f64 = actual.iter().zip(predicted).map(|(a, p)| (a - p) * (a - p)).sum();
+    let sse: f64 = actual
+        .iter()
+        .zip(predicted)
+        .map(|(a, p)| (a - p) * (a - p))
+        .sum();
     (sse / actual.len() as f64).sqrt()
 }
 
 /// Mean absolute error.
 pub fn mae(actual: &[f64], predicted: &[f64]) -> f64 {
-    assert_eq!(actual.len(), predicted.len(), "mae needs equal-length slices");
+    assert_eq!(
+        actual.len(),
+        predicted.len(),
+        "mae needs equal-length slices"
+    );
     assert!(!actual.is_empty(), "mae needs at least one point");
-    actual.iter().zip(predicted).map(|(a, p)| (a - p).abs()).sum::<f64>() / actual.len() as f64
+    actual
+        .iter()
+        .zip(predicted)
+        .map(|(a, p)| (a - p).abs())
+        .sum::<f64>()
+        / actual.len() as f64
 }
 
 /// Mean absolute percentage error, skipping points where `actual == 0`.
 /// Returns `NaN` if every actual is zero.
 pub fn mape(actual: &[f64], predicted: &[f64]) -> f64 {
-    assert_eq!(actual.len(), predicted.len(), "mape needs equal-length slices");
+    assert_eq!(
+        actual.len(),
+        predicted.len(),
+        "mape needs equal-length slices"
+    );
     let mut sum = 0.0;
     let mut n = 0usize;
     for (a, p) in actual.iter().zip(predicted) {

@@ -35,7 +35,12 @@ pub struct NelderMeadOptions {
 
 impl Default for NelderMeadOptions {
     fn default() -> Self {
-        NelderMeadOptions { max_evals: 2000, f_tol: 1e-10, x_tol: 1e-10, initial_step: 0.5 }
+        NelderMeadOptions {
+            max_evals: 2000,
+            f_tol: 1e-10,
+            x_tol: 1e-10,
+            initial_step: 0.5,
+        }
     }
 }
 
@@ -73,7 +78,11 @@ where
     simplex.push((x0.to_vec(), f0));
     for i in 0..n {
         let mut xi = x0.to_vec();
-        let step = if xi[i] != 0.0 { opts.initial_step * xi[i].abs().max(1.0) } else { opts.initial_step };
+        let step = if xi[i] != 0.0 {
+            opts.initial_step * xi[i].abs().max(1.0)
+        } else {
+            opts.initial_step
+        };
         xi[i] += step;
         let fi = eval(&xi, &mut evals);
         simplex.push((xi, fi));
@@ -88,8 +97,14 @@ where
         let f_spread = (worst_f - best_f).abs();
         let x_spread = (0..n)
             .map(|j| {
-                let lo = simplex.iter().map(|(x, _)| x[j]).fold(f64::INFINITY, f64::min);
-                let hi = simplex.iter().map(|(x, _)| x[j]).fold(f64::NEG_INFINITY, f64::max);
+                let lo = simplex
+                    .iter()
+                    .map(|(x, _)| x[j])
+                    .fold(f64::INFINITY, f64::min);
+                let hi = simplex
+                    .iter()
+                    .map(|(x, _)| x[j])
+                    .fold(f64::NEG_INFINITY, f64::max);
                 hi - lo
             })
             .fold(0.0_f64, f64::max);
@@ -110,24 +125,34 @@ where
         }
 
         let worst = simplex[n].clone();
-        let reflect: Vec<f64> =
-            (0..n).map(|j| centroid[j] + alpha * (centroid[j] - worst.0[j])).collect();
+        let reflect: Vec<f64> = (0..n)
+            .map(|j| centroid[j] + alpha * (centroid[j] - worst.0[j]))
+            .collect();
         let f_reflect = eval(&reflect, &mut evals);
 
         if f_reflect < simplex[0].1 {
             // Try expansion.
-            let expand: Vec<f64> =
-                (0..n).map(|j| centroid[j] + beta * (reflect[j] - centroid[j])).collect();
+            let expand: Vec<f64> = (0..n)
+                .map(|j| centroid[j] + beta * (reflect[j] - centroid[j]))
+                .collect();
             let f_expand = eval(&expand, &mut evals);
-            simplex[n] = if f_expand < f_reflect { (expand, f_expand) } else { (reflect, f_reflect) };
+            simplex[n] = if f_expand < f_reflect {
+                (expand, f_expand)
+            } else {
+                (reflect, f_reflect)
+            };
         } else if f_reflect < simplex[n - 1].1 {
             simplex[n] = (reflect, f_reflect);
         } else {
             // Contraction (outside if the reflection improved on the worst).
-            let (base, f_base) =
-                if f_reflect < worst.1 { (&reflect, f_reflect) } else { (&worst.0, worst.1) };
-            let contract: Vec<f64> =
-                (0..n).map(|j| centroid[j] + gamma * (base[j] - centroid[j])).collect();
+            let (base, f_base) = if f_reflect < worst.1 {
+                (&reflect, f_reflect)
+            } else {
+                (&worst.0, worst.1)
+            };
+            let contract: Vec<f64> = (0..n)
+                .map(|j| centroid[j] + gamma * (base[j] - centroid[j]))
+                .collect();
             let f_contract = eval(&contract, &mut evals);
             if f_contract < f_base {
                 simplex[n] = (contract, f_contract);
@@ -135,8 +160,8 @@ where
                 // Shrink toward the best vertex.
                 let best = simplex[0].0.clone();
                 for entry in simplex.iter_mut().skip(1) {
-                    for j in 0..n {
-                        entry.0[j] = best[j] + delta * (entry.0[j] - best[j]);
+                    for (e, &b) in entry.0.iter_mut().zip(&best) {
+                        *e = b + delta * (*e - b);
                     }
                     entry.1 = eval(&entry.0, &mut evals);
                 }
@@ -146,7 +171,12 @@ where
 
     simplex.sort_by(|a, b| a.1.partial_cmp(&b.1).unwrap_or(std::cmp::Ordering::Equal));
     let (x, fx) = simplex.swap_remove(0);
-    OptimizeResult { x, fx, evals, converged }
+    OptimizeResult {
+        x,
+        fx,
+        evals,
+        converged,
+    }
 }
 
 /// Minimise a 1-D unimodal function on `[lo, hi]` by golden-section search.
@@ -204,9 +234,11 @@ mod tests {
 
     #[test]
     fn rosenbrock_2d() {
-        let rosen =
-            |x: &[f64]| (1.0 - x[0]).powi(2) + 100.0 * (x[1] - x[0] * x[0]).powi(2);
-        let opts = NelderMeadOptions { max_evals: 5000, ..Default::default() };
+        let rosen = |x: &[f64]| (1.0 - x[0]).powi(2) + 100.0 * (x[1] - x[0] * x[0]).powi(2);
+        let opts = NelderMeadOptions {
+            max_evals: 5000,
+            ..Default::default()
+        };
         let r = nelder_mead(rosen, &[-1.2, 1.0], &opts);
         assert!((r.x[0] - 1.0).abs() < 1e-3, "x = {:?}", r.x);
         assert!((r.x[1] - 1.0).abs() < 1e-3);
@@ -228,8 +260,15 @@ mod tests {
 
     #[test]
     fn respects_eval_budget() {
-        let opts = NelderMeadOptions { max_evals: 40, ..Default::default() };
-        let r = nelder_mead(|x| x.iter().map(|v| v * v).sum(), &[10.0, 10.0, 10.0], &opts);
+        let opts = NelderMeadOptions {
+            max_evals: 40,
+            ..Default::default()
+        };
+        let r = nelder_mead(
+            |x| x.iter().map(|v| v * v).sum(),
+            &[10.0, 10.0, 10.0],
+            &opts,
+        );
         assert!(r.evals <= 40 + 4, "evals = {}", r.evals); // small overshoot from shrink step
     }
 

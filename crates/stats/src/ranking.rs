@@ -60,7 +60,10 @@ pub fn ndcg_at_k(ranked_gains: &[f64], ideal_gains: &[f64], k: usize) -> f64 {
 /// Convenience: NDCG@K for binary relevance where the ideal universe has
 /// `total_relevant` relevant items.
 pub fn ndcg_at_k_binary(ranked_relevance: &[bool], k: usize, total_relevant: usize) -> f64 {
-    let gains: Vec<f64> = ranked_relevance.iter().map(|&r| if r { 1.0 } else { 0.0 }).collect();
+    let gains: Vec<f64> = ranked_relevance
+        .iter()
+        .map(|&r| if r { 1.0 } else { 0.0 })
+        .collect();
     let ideal: Vec<f64> = (0..total_relevant).map(|_| 1.0).collect();
     ndcg_at_k(&gains, &ideal, k)
 }
@@ -112,11 +115,8 @@ mod tests {
     fn dcg_known_value() {
         // gains [3,2,3,0,1,2] → DCG@6 = 3 + 2/log2(3) + 3/2 + 0 + 1/log2(6) + 2/log2(7).
         let gains = [3.0, 2.0, 3.0, 0.0, 1.0, 2.0];
-        let expected = 3.0
-            + 2.0 / 3.0f64.log2()
-            + 3.0 / 2.0
-            + 1.0 / 6.0f64.log2()
-            + 2.0 / 7.0f64.log2();
+        let expected =
+            3.0 + 2.0 / 3.0f64.log2() + 3.0 / 2.0 + 1.0 / 6.0f64.log2() + 2.0 / 7.0f64.log2();
         assert!((dcg_at_k(&gains, 6) - expected).abs() < 1e-12);
     }
 

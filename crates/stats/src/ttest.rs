@@ -50,17 +50,28 @@ pub fn paired_t_test(a: &[f64], b: &[f64]) -> TTestResult {
 /// the mean differs from `mu0`, or `0` (p = 1) if it equals it — this keeps
 /// the experiment harness total when a model ties with itself.
 pub fn one_sample_t_test(xs: &[f64], mu0: f64) -> TTestResult {
-    assert!(xs.len() >= 2, "one-sample t-test needs at least 2 observations");
+    assert!(
+        xs.len() >= 2,
+        "one-sample t-test needs at least 2 observations"
+    );
     let n = xs.len() as f64;
     let m = mean(xs);
     let sd = sample_sd(xs);
     let df = n - 1.0;
     if sd == 0.0 {
-        let (t, p) = if m == mu0 { (0.0, 1.0) } else { (f64::INFINITY * (m - mu0).signum(), 0.0) };
+        let (t, p) = if m == mu0 {
+            (0.0, 1.0)
+        } else {
+            (f64::INFINITY * (m - mu0).signum(), 0.0)
+        };
         return TTestResult { t, df, p };
     }
     let t = (m - mu0) / (sd / n.sqrt());
-    TTestResult { t, df, p: student_t_two_sided_p(t, df) }
+    TTestResult {
+        t,
+        df,
+        p: student_t_two_sided_p(t, df),
+    }
 }
 
 #[cfg(test)]
@@ -109,7 +120,11 @@ mod tests {
 
     #[test]
     fn display_formats_like_paper() {
-        let r = TTestResult { t: -103.670, df: 42.0, p: 1e-50 };
+        let r = TTestResult {
+            t: -103.670,
+            df: 42.0,
+            p: 1e-50,
+        };
         assert_eq!(format!("{r}"), "t(42) = -103.670, p < 0.001");
     }
 

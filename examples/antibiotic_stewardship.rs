@@ -17,8 +17,13 @@ fn main() {
     // Build a respiratory-medicine world with a class-dependent
     // misprescription channel (antibiotics for viral infections at clinics).
     let mut b = WorldBuilder::new(YearMonth::paper_start(), 24);
-    let bacterial_names =
-        ["acute bronchitis", "chronic sinusitis", "pneumonia", "pharyngitis", "bronchiectasis"];
+    let bacterial_names = [
+        "acute bronchitis",
+        "chronic sinusitis",
+        "pneumonia",
+        "pharyngitis",
+        "bronchiectasis",
+    ];
     let viral_names = ["acute upper respiratory inflammation", "influenza"];
     let mut viral = Vec::new();
     let mut bacterial = Vec::new();
@@ -35,7 +40,11 @@ fn main() {
             name,
             DiseaseKind::Viral,
             1.3,
-            SeasonalProfile::Annual { peak_month0: 0, amplitude: 2.0, sharpness: 2.0 },
+            SeasonalProfile::Annual {
+                peak_month0: 0,
+                amplitude: 2.0,
+                sharpness: 2.0,
+            },
         ));
     }
     let antibiotic = b.medicine("broad-spectrum antibiotic", MedicineClass::Antibiotic);
@@ -74,7 +83,11 @@ fn main() {
             table.row(vec![
                 world.diseases[r.disease.index()].name.clone(),
                 format!("{:.1}", r.ratio_pct),
-                if indicated { "yes".into() } else { "NO (viral)".to_string() },
+                if indicated {
+                    "yes".into()
+                } else {
+                    "NO (viral)".to_string()
+                },
             ]);
         }
         println!("{}", table.render());

@@ -17,8 +17,12 @@ fn main() {
     // A statin family: original + two generics entering at month 15,
     // across four cities with very different adoption behaviour.
     let mut b = WorldBuilder::new(YearMonth::paper_start(), 36);
-    let dyslipidemia =
-        b.disease("dyslipidemia", DiseaseKind::Chronic, 1.0, SeasonalProfile::Flat);
+    let dyslipidemia = b.disease(
+        "dyslipidemia",
+        DiseaseKind::Chronic,
+        1.0,
+        SeasonalProfile::Flat,
+    );
     let original = b.medicine("brand statin", MedicineClass::Other);
     b.indication(dyslipidemia, original, 2.0);
     let entry = Month(15);
@@ -28,7 +32,11 @@ fn main() {
         b.medicines_mut()[g.index()].release_month = Some(entry);
         b.indication(dyslipidemia, g, 2.0);
     }
-    b.event(MarketEvent::GenericEntry { original, generics: vec![g1, g2], month: entry });
+    b.event(MarketEvent::GenericEntry {
+        original,
+        generics: vec![g1, g2],
+        month: entry,
+    });
     b.rates(1.1, 0.3);
     let cities = [
         ("port-city", 0u32, 0.9),
@@ -54,12 +62,20 @@ fn main() {
     for (label, t) in [
         ("1 month before generic entry", entry.index() - 1),
         ("3 months after", entry.index() + 3),
-        ("18 months after", (entry.index() + 18).min(dataset.horizon() - 1)),
+        (
+            "18 months after",
+            (entry.index() + 18).min(dataset.horizon() - 1),
+        ),
     ] {
         println!();
         println!("--- {label} (t={t}) ---");
-        let mut table =
-            TextTable::new(vec!["city", "brand", "generic A", "generic B (auth.)", "generic %"]);
+        let mut table = TextTable::new(vec![
+            "city",
+            "brand",
+            "generic A",
+            "generic B (auth.)",
+            "generic %",
+        ]);
         for row in spread_snapshot(&panels, original, &generics, t) {
             table.row(vec![
                 world.cities[row.city.index()].name.clone(),

@@ -34,16 +34,22 @@ fn main() {
         .collect();
     println!("--- multiple change points (planted: +slope@10, -slope@30) ---");
     println!("series: {}", sparkline(&ys));
-    let opts = FitOptions { max_evals: 200, n_starts: 1 };
+    let opts = FitOptions {
+        max_evals: 200,
+        n_starts: 1,
+    };
     let multi = detect_multiple(&ys, false, 3, &opts);
     for (t, lambda) in &multi.points {
         println!("detected change at t={t} with slope shift λ = {lambda:+.2}");
     }
-    println!("AIC trace by number of change points: {:?}\n", multi
-        .aic_trace
-        .iter()
-        .map(|a| (a * 10.0).round() / 10.0)
-        .collect::<Vec<_>>());
+    println!(
+        "AIC trace by number of change points: {:?}\n",
+        multi
+            .aic_trace
+            .iter()
+            .map(|a| (a * 10.0).round() / 10.0)
+            .collect::<Vec<_>>()
+    );
 
     // ---- 2. Tracked monthly medication models --------------------------
     let spec = WorldSpec {
@@ -61,8 +67,7 @@ fn main() {
         .iter()
         .map(|m| MedicationModel::fit(m, ds.n_diseases, ds.n_medicines, &em))
         .collect();
-    let tracked =
-        MedicationModel::fit_tracked(&ds.months, ds.n_diseases, ds.n_medicines, &em, 0.6);
+    let tracked = MedicationModel::fit_tracked(&ds.months, ds.n_diseases, ds.n_medicines, &em, 0.6);
     // Compare month-to-month stability of φ rows (tracked should drift less).
     let drift = |models: &[MedicationModel]| -> f64 {
         let mut total = 0.0;
@@ -79,8 +84,11 @@ fn main() {
         total / count.max(1.0)
     };
     println!("--- tracked EM (continuity = 0.6) on sparse months ---");
-    println!("mean month-to-month |Δφ|: independent {:.4}, tracked {:.4}",
-        drift(&independent), drift(&tracked));
+    println!(
+        "mean month-to-month |Δφ|: independent {:.4}, tracked {:.4}",
+        drift(&independent),
+        drift(&tracked)
+    );
 
     // ---- 3. Forecast intervals -----------------------------------------
     println!("\n--- forecast intervals (seasonal series, 12-month horizon) ---");
@@ -92,7 +100,11 @@ fn main() {
         })
         .collect();
     let train = &seasonal[..36];
-    let fit = fit_structural(train, StructuralSpec::with_seasonal(), &FitOptions::default());
+    let fit = fit_structural(
+        train,
+        StructuralSpec::with_seasonal(),
+        &FitOptions::default(),
+    );
     let fc = fit.forecast_with_variance(train, 12);
     let mut inside = 0;
     for (j, (mean, var)) in fc.iter().enumerate() {

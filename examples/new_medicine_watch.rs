@@ -42,10 +42,18 @@ fn main() {
 
     // Analyse every medicine series with an upward slope-shift change.
     let pipeline = TrendPipeline::new(PipelineConfig {
-        fit: FitOptions { max_evals: 150, n_starts: 1 },
+        fit: FitOptions {
+            max_evals: 150,
+            n_starts: 1,
+        },
         ..Default::default()
     });
-    let mut table = TextTable::new(vec!["medicine", "detected launch", "true release", "lambda"]);
+    let mut table = TextTable::new(vec![
+        "medicine",
+        "detected launch",
+        "true release",
+        "lambda",
+    ]);
     let mut hits = 0;
     let mut launches = 0;
     for m in 0..dataset.n_medicines {

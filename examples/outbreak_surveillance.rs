@@ -22,13 +22,21 @@ fn main() {
         "influenza",
         DiseaseKind::Viral,
         0.9,
-        SeasonalProfile::Annual { peak_month0: 0, amplitude: 7.0, sharpness: 4.0 },
+        SeasonalProfile::Annual {
+            peak_month0: 0,
+            amplitude: 7.0,
+            sharpness: 4.0,
+        },
     );
     let hay_fever = b.disease(
         "hay fever",
         DiseaseKind::Environmental,
         1.1,
-        SeasonalProfile::Annual { peak_month0: 2, amplitude: 5.0, sharpness: 4.0 },
+        SeasonalProfile::Annual {
+            peak_month0: 2,
+            amplitude: 5.0,
+            sharpness: 4.0,
+        },
     );
     let gastritis = b.disease("gastritis", DiseaseKind::Other, 1.0, SeasonalProfile::Flat);
     let antiviral = b.medicine("anti-influenza", MedicineClass::Antiviral);
@@ -60,18 +68,27 @@ fn main() {
     }
     let panel = builder.build();
 
-    for (name, d) in [("influenza", influenza), ("hay fever", hay_fever), ("gastritis", gastritis)]
-    {
+    for (name, d) in [
+        ("influenza", influenza),
+        ("hay fever", hay_fever),
+        ("gastritis", gastritis),
+    ] {
         println!("{name:<12} {}", sparkline(panel.disease_series(d)));
     }
 
     // Scan for outbreaks.
     let config = OutbreakConfig {
-        fit: FitOptions { max_evals: 200, n_starts: 1 },
+        fit: FitOptions {
+            max_evals: 200,
+            n_starts: 1,
+        },
         ..Default::default()
     };
     let alerts = detect_outbreaks(&panel, dataset.n_diseases, &config);
-    println!("\n--- outbreak alerts (|z| > {:.1} over trend + season) ---", config.threshold);
+    println!(
+        "\n--- outbreak alerts (|z| > {:.1} over trend + season) ---",
+        config.threshold
+    );
     if alerts.is_empty() {
         println!("(none)");
     }
@@ -79,7 +96,10 @@ fn main() {
         let calendar = dataset.calendar(Month(a.month as u32));
         println!(
             "{} at {calendar}: observed {:.0} vs expected {:.0} (z = {:+.1})",
-            world.diseases[a.disease.index()].name, a.observed, a.expected, a.z_score
+            world.diseases[a.disease.index()].name,
+            a.observed,
+            a.expected,
+            a.z_score
         );
     }
     let hit = alerts

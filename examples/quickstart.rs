@@ -33,7 +33,10 @@ fn main() {
     // 3. Run the two-stage pipeline: EM link prediction per month, then a
     //    state space model with AIC change-point search per series.
     let config = PipelineConfig {
-        fit: FitOptions { max_evals: 150, n_starts: 1 },
+        fit: FitOptions {
+            max_evals: 150,
+            n_starts: 1,
+        },
         ..PipelineConfig::default()
     };
     let report = TrendPipeline::new(config).run(&dataset);

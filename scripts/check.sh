@@ -1,0 +1,29 @@
+#!/usr/bin/env bash
+# Full local gate: everything CI would run, in dependency order.
+#
+#   ./scripts/check.sh          # build + test + lint
+#   RUN_BENCHES=1 ./scripts/check.sh   # additionally run criterion benches;
+#                                      # BENCH_*.json land in results/bench/
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "==> cargo build --release"
+cargo build --release
+
+echo "==> cargo test -q --workspace"
+cargo test -q --workspace
+
+echo "==> cargo fmt --check"
+cargo fmt --check
+
+echo "==> cargo clippy -- -D warnings"
+cargo clippy --workspace --all-targets -- -D warnings
+
+if [[ "${RUN_BENCHES:-0}" == "1" ]]; then
+    echo "==> criterion benches (JSON -> results/bench/)"
+    mkdir -p results/bench
+    BENCH_JSON_DIR="$PWD/results/bench" cargo bench -p mic-bench
+    ls -l results/bench/BENCH_*.json
+fi
+
+echo "OK"

@@ -63,8 +63,9 @@ impl Flags {
                 switches.push(name.to_string());
                 i += 1;
             } else {
-                let value =
-                    args.get(i + 1).ok_or_else(|| format!("--{name} requires a value"))?;
+                let value = args
+                    .get(i + 1)
+                    .ok_or_else(|| format!("--{name} requires a value"))?;
                 values.insert(name.to_string(), value.clone());
                 i += 2;
             }
@@ -77,13 +78,16 @@ impl Flags {
     }
 
     fn require(&self, name: &str) -> Result<&str, String> {
-        self.get(name).ok_or_else(|| format!("missing required flag --{name}"))
+        self.get(name)
+            .ok_or_else(|| format!("missing required flag --{name}"))
     }
 
     fn get_num<T: std::str::FromStr>(&self, name: &str, default: T) -> Result<T, String> {
         match self.get(name) {
             None => Ok(default),
-            Some(v) => v.parse().map_err(|_| format!("--{name}: invalid number {v:?}")),
+            Some(v) => v
+                .parse()
+                .map_err(|_| format!("--{name}: invalid number {v:?}")),
         }
     }
 
@@ -146,13 +150,20 @@ fn analyze(flags: &Flags) -> Result<(), String> {
     let config = PipelineConfig {
         approximate_search: !flags.has("exact"),
         seasonal: !flags.has("no-seasonal") && dataset.horizon() >= 16,
-        fit: FitOptions { max_evals: 150, n_starts: 1 },
+        fit: FitOptions {
+            max_evals: 150,
+            n_starts: 1,
+        },
         ..Default::default()
     };
     eprintln!(
         "analysing {} months with {} change-point search...",
         dataset.horizon(),
-        if config.approximate_search { "binary (Algorithm 2)" } else { "exhaustive (Algorithm 1)" }
+        if config.approximate_search {
+            "binary (Algorithm 2)"
+        } else {
+            "exhaustive (Algorithm 1)"
+        }
     );
     let report = TrendPipeline::new(config).run(&dataset);
     let (rd, rm, rp) = report.detection_rates();
@@ -164,7 +175,10 @@ fn analyze(flags: &Flags) -> Result<(), String> {
         100.0 * rp
     );
     println!();
-    println!("{}", detected_changes_table(&report.detected(), top).render());
+    println!(
+        "{}",
+        detected_changes_table(&report.detected(), top).render()
+    );
     if !report.causes.is_empty() {
         println!("causes of prescription-level changes:");
         for (key, cause) in report.causes.iter().take(top) {
@@ -179,7 +193,10 @@ fn series(flags: &Flags) -> Result<(), String> {
     let kind = flags.require("kind")?;
     let id: u32 = flags.get_num("id", 0u32)?;
     let config = PipelineConfig {
-        fit: FitOptions { max_evals: 150, n_starts: 1 },
+        fit: FitOptions {
+            max_evals: 150,
+            n_starts: 1,
+        },
         seasonal: dataset.horizon() >= 16,
         ..Default::default()
     };
@@ -208,7 +225,10 @@ fn series(flags: &Flags) -> Result<(), String> {
     };
     println!("{key}: {}", sparkline(&ys));
     for (t, v) in ys.iter().enumerate() {
-        println!("{} {v:.2}", dataset.calendar(prescription_trends::claims::Month(t as u32)));
+        println!(
+            "{} {v:.2}",
+            dataset.calendar(prescription_trends::claims::Month(t as u32))
+        );
     }
     if ys.iter().sum::<f64>() >= 10.0 {
         let report = pipeline.analyze_series(key, &ys);

@@ -37,13 +37,20 @@ fn simulate_stats_analyze_series_roundtrip() {
         ])
         .output()
         .expect("run simulate");
-    assert!(out.status.success(), "simulate failed: {}", String::from_utf8_lossy(&out.stderr));
+    assert!(
+        out.status.success(),
+        "simulate failed: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
     let stdout = String::from_utf8_lossy(&out.stdout);
     assert!(stdout.contains("wrote"), "{stdout}");
     assert!(data.exists());
 
     // stats.
-    let out = mictrend().args(["stats", "--data", data.to_str().unwrap()]).output().unwrap();
+    let out = mictrend()
+        .args(["stats", "--data", data.to_str().unwrap()])
+        .output()
+        .unwrap();
     assert!(out.status.success());
     let stdout = String::from_utf8_lossy(&out.stdout);
     assert!(stdout.contains("months:"), "{stdout}");
@@ -51,23 +58,49 @@ fn simulate_stats_analyze_series_roundtrip() {
 
     // analyze (approximate, no seasonal: T = 18).
     let out = mictrend()
-        .args(["analyze", "--data", data.to_str().unwrap(), "--no-seasonal", "--top", "5"])
+        .args([
+            "analyze",
+            "--data",
+            data.to_str().unwrap(),
+            "--no-seasonal",
+            "--top",
+            "5",
+        ])
         .output()
         .unwrap();
-    assert!(out.status.success(), "analyze failed: {}", String::from_utf8_lossy(&out.stderr));
+    assert!(
+        out.status.success(),
+        "analyze failed: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
     let stdout = String::from_utf8_lossy(&out.stdout);
     assert!(stdout.contains("series analysed"), "{stdout}");
     assert!(stdout.contains("change point") || stdout.contains("change rates"));
 
     // series dump.
     let out = mictrend()
-        .args(["series", "--data", data.to_str().unwrap(), "--kind", "disease", "--id", "0"])
+        .args([
+            "series",
+            "--data",
+            data.to_str().unwrap(),
+            "--kind",
+            "disease",
+            "--id",
+            "0",
+        ])
         .output()
         .unwrap();
-    assert!(out.status.success(), "series failed: {}", String::from_utf8_lossy(&out.stderr));
+    assert!(
+        out.status.success(),
+        "series failed: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
     let stdout = String::from_utf8_lossy(&out.stdout);
     assert!(stdout.contains("disease/D0"), "{stdout}");
-    assert!(stdout.contains("2013-"), "calendar labels expected: {stdout}");
+    assert!(
+        stdout.contains("2013-"),
+        "calendar labels expected: {stdout}"
+    );
 
     let _ = std::fs::remove_file(&data);
 }
@@ -85,7 +118,10 @@ fn bad_usage_fails_gracefully() {
     assert!(String::from_utf8_lossy(&out.stderr).contains("--data"));
 
     // Nonexistent file.
-    let out = mictrend().args(["stats", "--data", "/nonexistent/x.mic"]).output().unwrap();
+    let out = mictrend()
+        .args(["stats", "--data", "/nonexistent/x.mic"])
+        .output()
+        .unwrap();
     assert!(!out.status.success());
     assert!(String::from_utf8_lossy(&out.stderr).contains("cannot open"));
 
@@ -101,14 +137,31 @@ fn bad_usage_fails_gracefully() {
     let data = temp_path("range.mic");
     let ok = mictrend()
         .args([
-            "simulate", "--out", data.to_str().unwrap(), "--months", "14", "--patients", "40",
-            "--diseases", "8", "--medicines", "10",
+            "simulate",
+            "--out",
+            data.to_str().unwrap(),
+            "--months",
+            "14",
+            "--patients",
+            "40",
+            "--diseases",
+            "8",
+            "--medicines",
+            "10",
         ])
         .output()
         .unwrap();
     assert!(ok.status.success());
     let out = mictrend()
-        .args(["series", "--data", data.to_str().unwrap(), "--kind", "disease", "--id", "9999"])
+        .args([
+            "series",
+            "--data",
+            data.to_str().unwrap(),
+            "--kind",
+            "disease",
+            "--id",
+            "9999",
+        ])
         .output()
         .unwrap();
     assert!(!out.status.success());

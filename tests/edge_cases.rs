@@ -10,12 +10,18 @@ use prescription_trends::statespace::{
 };
 
 fn record(diseases: Vec<(u32, u32)>, meds: Vec<u32>) -> MicRecord {
-    let truth =
-        if diseases.is_empty() { vec![] } else { vec![DiseaseId(diseases[0].0); meds.len()] };
+    let truth = if diseases.is_empty() {
+        vec![]
+    } else {
+        vec![DiseaseId(diseases[0].0); meds.len()]
+    };
     MicRecord {
         patient: PatientId(0),
         hospital: HospitalId(0),
-        diseases: diseases.into_iter().map(|(d, n)| (DiseaseId(d), n)).collect(),
+        diseases: diseases
+            .into_iter()
+            .map(|(d, n)| (DiseaseId(d), n))
+            .collect(),
         medicines: meds.into_iter().map(MedicineId).collect(),
         truth_links: truth,
     }
@@ -23,13 +29,18 @@ fn record(diseases: Vec<(u32, u32)>, meds: Vec<u32>) -> MicRecord {
 
 #[test]
 fn em_on_empty_month() {
-    let month = MonthlyDataset { month: Month(0), records: vec![] };
+    let month = MonthlyDataset {
+        month: Month(0),
+        records: vec![],
+    };
     let model = MedicationModel::fit(&month, 3, 4, &EmOptions::default());
     // Uniform η, smoothed-uniform φ: everything finite and normalised.
     let eta_sum: f64 = (0..3).map(|d| model.eta(DiseaseId(d))).sum();
     assert!((eta_sum - 1.0).abs() < 1e-9);
     for d in 0..3 {
-        let row: f64 = (0..4).map(|m| model.phi_prob(DiseaseId(d), MedicineId(m))).sum();
+        let row: f64 = (0..4)
+            .map(|m| model.phi_prob(DiseaseId(d), MedicineId(m)))
+            .sum();
         assert!((row - 1.0).abs() < 1e-9);
     }
 }
@@ -39,7 +50,10 @@ fn em_on_month_without_prescriptions() {
     // Diagnoses but no medicines at all.
     let month = MonthlyDataset {
         month: Month(0),
-        records: vec![record(vec![(0, 2), (1, 1)], vec![]), record(vec![(2, 1)], vec![])],
+        records: vec![
+            record(vec![(0, 2), (1, 1)], vec![]),
+            record(vec![(2, 1)], vec![]),
+        ],
     };
     let model = MedicationModel::fit(&month, 3, 2, &EmOptions::default());
     assert!(model.log_likelihood == 0.0 || model.log_likelihood.is_finite());
@@ -63,9 +77,18 @@ fn em_with_identical_records_is_stable() {
 fn panel_with_months_that_are_empty() {
     // Months 0 and 2 have data; month 1 is empty (e.g. reporting gap).
     let months = vec![
-        MonthlyDataset { month: Month(0), records: vec![record(vec![(0, 1)], vec![0])] },
-        MonthlyDataset { month: Month(1), records: vec![] },
-        MonthlyDataset { month: Month(2), records: vec![record(vec![(0, 1)], vec![0, 0])] },
+        MonthlyDataset {
+            month: Month(0),
+            records: vec![record(vec![(0, 1)], vec![0])],
+        },
+        MonthlyDataset {
+            month: Month(1),
+            records: vec![],
+        },
+        MonthlyDataset {
+            month: Month(2),
+            records: vec![record(vec![(0, 1)], vec![0, 0])],
+        },
     ];
     let mut builder = PanelBuilder::new(1, 1, 3);
     for m in &months {
@@ -73,7 +96,9 @@ fn panel_with_months_that_are_empty() {
         builder.add_month(m, &model);
     }
     let panel = builder.build();
-    let series = panel.prescription_series(DiseaseId(0), MedicineId(0)).unwrap();
+    let series = panel
+        .prescription_series(DiseaseId(0), MedicineId(0))
+        .unwrap();
     assert_eq!(series, &[1.0, 0.0, 2.0]);
 }
 
@@ -84,7 +109,11 @@ fn structural_fit_on_constant_series() {
     assert!(fit.aic.is_finite());
     let c = fit.decompose(&ys);
     for t in 0..30 {
-        assert!((c.level[t] - 7.0).abs() < 1e-3, "level[{t}] = {}", c.level[t]);
+        assert!(
+            (c.level[t] - 7.0).abs() < 1e-3,
+            "level[{t}] = {}",
+            c.level[t]
+        );
         assert!(c.irregular[t].abs() < 1e-3);
     }
     // Forecast continues the constant.
@@ -99,7 +128,14 @@ fn structural_fit_on_all_zero_series() {
     // Sparse prescription pairs are zero for long stretches; an all-zero
     // window must not produce NaNs or spurious change points.
     let ys = vec![0.0; 43];
-    let search = exact_change_point(&ys, false, &FitOptions { max_evals: 120, n_starts: 1 });
+    let search = exact_change_point(
+        &ys,
+        false,
+        &FitOptions {
+            max_evals: 120,
+            n_starts: 1,
+        },
+    );
     assert!(search.aic.is_finite());
     assert!(
         search.change_point.month().is_none(),
@@ -140,6 +176,13 @@ fn change_point_search_on_minimum_length_series() {
     // Shortest series the seasonal-free search accepts: skip 2 + 2 → n ≥ 5
     // plus candidate room.
     let ys = vec![1.0, 2.0, 1.5, 2.5, 1.0, 2.0, 3.0, 2.0];
-    let search = exact_change_point(&ys, false, &FitOptions { max_evals: 80, n_starts: 1 });
+    let search = exact_change_point(
+        &ys,
+        false,
+        &FitOptions {
+            max_evals: 80,
+            n_starts: 1,
+        },
+    );
     assert!(search.aic.is_finite());
 }

@@ -13,7 +13,10 @@ use prescription_trends::trend::{ChangeCause, PipelineConfig, TrendPipeline};
 fn fast_config(seasonal: bool) -> PipelineConfig {
     PipelineConfig {
         seasonal,
-        fit: FitOptions { max_evals: 150, n_starts: 1 },
+        fit: FitOptions {
+            max_evals: 150,
+            n_starts: 1,
+        },
         approximate_search: true,
         ..Default::default()
     }
@@ -23,7 +26,12 @@ fn fast_config(seasonal: bool) -> PipelineConfig {
 fn pipeline_detects_planted_new_medicine() {
     // One new medicine released at month 20 of 36; everything else stable.
     let mut b = WorldBuilder::new(YearMonth::paper_start(), 36);
-    let chronic = b.disease("chronic-1", DiseaseKind::Chronic, 1.0, SeasonalProfile::Flat);
+    let chronic = b.disease(
+        "chronic-1",
+        DiseaseKind::Chronic,
+        1.0,
+        SeasonalProfile::Flat,
+    );
     let acute = b.disease("acute-1", DiseaseKind::Other, 1.0, SeasonalProfile::Flat);
     let old_med = b.medicine("old-medicine", MedicineClass::Other);
     b.indication(chronic, old_med, 2.0);
@@ -50,7 +58,10 @@ fn pipeline_detects_planted_new_medicine() {
     let med_report = report
         .report_for(SeriesKey::Medicine(new_med))
         .expect("new medicine series analysed");
-    let cp = med_report.change_point.month().expect("release must be detected");
+    let cp = med_report
+        .change_point
+        .month()
+        .expect("release must be detected");
     // The binary search on a gently-ramping launch can land a few months
     // off; the paper's own exact-vs-approx RMSE is ≈ 4 months (Table VI).
     assert!(
@@ -79,8 +90,18 @@ fn pipeline_categorises_indication_expansion_as_prescription_derived() {
     // series (new disease, medicine) breaks; the disease marginal stays
     // stable, so the cause must not be disease-derived.
     let mut b = WorldBuilder::new(YearMonth::paper_start(), 36);
-    let d_old = b.disease("established", DiseaseKind::Chronic, 1.5, SeasonalProfile::Flat);
-    let d_new = b.disease("new-target", DiseaseKind::Chronic, 1.5, SeasonalProfile::Flat);
+    let d_old = b.disease(
+        "established",
+        DiseaseKind::Chronic,
+        1.5,
+        SeasonalProfile::Flat,
+    );
+    let d_new = b.disease(
+        "new-target",
+        DiseaseKind::Chronic,
+        1.5,
+        SeasonalProfile::Flat,
+    );
     let med = b.medicine("expanding-med", MedicineClass::Other);
     let other_med = b.medicine("baseline-med", MedicineClass::Other);
     b.indication(d_old, med, 2.0);
@@ -103,7 +124,10 @@ fn pipeline_categorises_indication_expansion_as_prescription_derived() {
     let report = TrendPipeline::new(fast_config(false)).run(&ds);
     let key = SeriesKey::Prescription(d_new, med);
     let pair = report.report_for(key).expect("pair series analysed");
-    let cp = pair.change_point.month().expect("expansion must be detected");
+    let cp = pair
+        .change_point
+        .month()
+        .expect("expansion must be detected");
     assert!(
         (cp as i64 - since.index() as i64).abs() <= 4,
         "detected t={cp}, planted t={}",

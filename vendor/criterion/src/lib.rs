@@ -1,0 +1,276 @@
+//! Offline stand-in for the `criterion` crate.
+//!
+//! Provides the API subset the workspace's benches use — `Criterion`,
+//! `benchmark_group` / `sample_size` / `bench_function` / `bench_with_input`,
+//! `BenchmarkId`, `Bencher::iter`, and the `criterion_group!` /
+//! `criterion_main!` macros — measuring wall-clock time with a warmup pass
+//! and reporting mean/median per-iteration times.
+//!
+//! Results are printed to stdout and appended to `BENCH_<group>.json` in the
+//! directory named by `BENCH_JSON_DIR` (default: the bench binary's working
+//! directory, i.e. the bench crate root), so CI can collect machine-readable
+//! numbers without the real criterion's dependency tree.
+
+use std::fmt::Display;
+use std::fs;
+use std::io::Write as _;
+use std::path::PathBuf;
+use std::time::Instant;
+
+/// Top-level benchmark driver.
+pub struct Criterion {
+    out_dir: PathBuf,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        let out_dir = std::env::var_os("BENCH_JSON_DIR")
+            .map(PathBuf::from)
+            .unwrap_or_else(|| PathBuf::from("."));
+        Criterion { out_dir }
+    }
+}
+
+impl Criterion {
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.into(),
+            sample_size: 20,
+            results: Vec::new(),
+        }
+    }
+
+    /// Ungrouped benchmark, recorded under the group name `misc`.
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkIdish>, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut group = self.benchmark_group("misc");
+        group.bench_function(id, f);
+        group.finish();
+        self
+    }
+}
+
+/// Identifier `function_name/parameter` for parameterised benches.
+#[derive(Clone, Debug)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    pub fn new(function_name: impl Into<String>, parameter: impl Display) -> BenchmarkId {
+        BenchmarkId {
+            id: format!("{}/{}", function_name.into(), parameter),
+        }
+    }
+
+    pub fn from_parameter(parameter: impl Display) -> BenchmarkId {
+        BenchmarkId {
+            id: parameter.to_string(),
+        }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> BenchmarkId {
+        BenchmarkId { id: s.to_string() }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(s: String) -> BenchmarkId {
+        BenchmarkId { id: s }
+    }
+}
+
+#[derive(Clone, Debug)]
+struct BenchResult {
+    id: String,
+    mean_ns: f64,
+    median_ns: f64,
+    samples: usize,
+    iters_per_sample: u64,
+}
+
+/// A named group of related benchmarks sharing reporting settings.
+pub struct BenchmarkGroup<'c> {
+    criterion: &'c mut Criterion,
+    name: String,
+    sample_size: usize,
+    results: Vec<BenchResult>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Number of measured samples per bench (upstream default is 100; the
+    /// stand-in default is 20 to keep `cargo bench` wall time sane).
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(5);
+        self
+    }
+
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkIdish>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.into().0;
+        let result = run_bench(&self.name, &id, self.sample_size, |b| f(b));
+        self.results.push(result);
+        self
+    }
+
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let result = run_bench(&self.name, &id.id, self.sample_size, |b| f(b, input));
+        self.results.push(result);
+        self
+    }
+
+    /// Write the group's results to `BENCH_<group>.json`.
+    pub fn finish(self) {
+        if self.results.is_empty() {
+            return;
+        }
+        let mut json = String::from("[\n");
+        for (i, r) in self.results.iter().enumerate() {
+            json.push_str(&format!(
+                "  {{\"group\": \"{}\", \"bench\": \"{}\", \"mean_ns\": {:.1}, \
+                 \"median_ns\": {:.1}, \"samples\": {}, \"iters_per_sample\": {}}}{}\n",
+                self.name,
+                r.id,
+                r.mean_ns,
+                r.median_ns,
+                r.samples,
+                r.iters_per_sample,
+                if i + 1 < self.results.len() { "," } else { "" }
+            ));
+        }
+        json.push_str("]\n");
+        let path = self
+            .criterion
+            .out_dir
+            .join(format!("BENCH_{}.json", self.name));
+        match fs::File::create(&path).and_then(|mut fh| fh.write_all(json.as_bytes())) {
+            Ok(()) => println!("wrote {}", path.display()),
+            Err(e) => eprintln!("warning: could not write {}: {e}", path.display()),
+        }
+    }
+}
+
+/// Accepts both `&str` names and `BenchmarkId`s for `bench_function`.
+pub struct BenchmarkIdish(String);
+
+impl From<&str> for BenchmarkIdish {
+    fn from(s: &str) -> Self {
+        BenchmarkIdish(s.to_string())
+    }
+}
+
+impl From<String> for BenchmarkIdish {
+    fn from(s: String) -> Self {
+        BenchmarkIdish(s)
+    }
+}
+
+impl From<BenchmarkId> for BenchmarkIdish {
+    fn from(id: BenchmarkId) -> Self {
+        BenchmarkIdish(id.id)
+    }
+}
+
+/// Passed to the bench closure; call [`Bencher::iter`] with the code under
+/// measurement.
+pub struct Bencher {
+    sample_size: usize,
+    samples_ns: Vec<f64>,
+    iters_per_sample: u64,
+}
+
+impl Bencher {
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut routine: F) {
+        // Warmup + calibration: target ~10ms per sample, capped iteration count.
+        let t0 = Instant::now();
+        std::hint::black_box(routine());
+        let first_ns = t0.elapsed().as_nanos().max(1) as f64;
+        let target_ns = 10_000_000.0;
+        let iters = ((target_ns / first_ns).clamp(1.0, 100_000.0)) as u64;
+        self.iters_per_sample = iters;
+        self.samples_ns.clear();
+        for _ in 0..self.sample_size {
+            let start = Instant::now();
+            for _ in 0..iters {
+                std::hint::black_box(routine());
+            }
+            let elapsed = start.elapsed().as_nanos() as f64;
+            self.samples_ns.push(elapsed / iters as f64);
+        }
+    }
+}
+
+fn run_bench<F: FnMut(&mut Bencher)>(
+    group: &str,
+    id: &str,
+    sample_size: usize,
+    mut f: F,
+) -> BenchResult {
+    let mut bencher = Bencher {
+        sample_size,
+        samples_ns: Vec::with_capacity(sample_size),
+        iters_per_sample: 0,
+    };
+    f(&mut bencher);
+    let mut sorted = bencher.samples_ns.clone();
+    sorted.sort_by(|a, b| a.total_cmp(b));
+    let mean = if sorted.is_empty() {
+        0.0
+    } else {
+        sorted.iter().sum::<f64>() / sorted.len() as f64
+    };
+    let median = if sorted.is_empty() {
+        0.0
+    } else {
+        sorted[sorted.len() / 2]
+    };
+    println!(
+        "{group}/{id}: mean {:.1} ns, median {:.1} ns ({} samples)",
+        mean,
+        median,
+        sorted.len()
+    );
+    BenchResult {
+        id: id.to_string(),
+        mean_ns: mean,
+        median_ns: median,
+        samples: bencher.samples_ns.len(),
+        iters_per_sample: bencher.iters_per_sample,
+    }
+}
+
+/// Group benchmark functions into a single registration function.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Entry point running every registered group.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}

@@ -1,0 +1,57 @@
+//! `any::<T>()` for the primitive types the workspace generates.
+
+use std::marker::PhantomData;
+
+use rand::Rng;
+
+use crate::strategy::{Strategy, TestRng};
+
+/// Types with a canonical full-domain strategy.
+pub trait Arbitrary: Sized {
+    fn generate(rng: &mut TestRng) -> Self;
+}
+
+/// Strategy over the full domain of `A`.
+#[derive(Clone, Debug)]
+pub struct Any<A>(PhantomData<A>);
+
+/// The canonical strategy for `A`.
+pub fn any<A: Arbitrary>() -> Any<A> {
+    Any(PhantomData)
+}
+
+impl<A: Arbitrary> Strategy for Any<A> {
+    type Value = A;
+
+    fn new_value(&self, rng: &mut TestRng) -> A {
+        A::generate(rng)
+    }
+}
+
+impl Arbitrary for bool {
+    fn generate(rng: &mut TestRng) -> bool {
+        rng.gen_bool(0.5)
+    }
+}
+
+macro_rules! int_arbitrary {
+    ($($t:ty),*) => {$(
+        impl Arbitrary for $t {
+            fn generate(rng: &mut TestRng) -> $t {
+                rng.gen_range(<$t>::MIN..=<$t>::MAX)
+            }
+        }
+    )*};
+}
+
+int_arbitrary!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Arbitrary for f64 {
+    /// Finite floats over a broad magnitude span (no NaN/inf — the upstream
+    /// default also excludes them unless asked).
+    fn generate(rng: &mut TestRng) -> f64 {
+        let sign = if rng.gen_bool(0.5) { 1.0 } else { -1.0 };
+        let exp: i32 = rng.gen_range(-64..64);
+        sign * rng.gen_range(0.0..1.0f64) * (2.0f64).powi(exp)
+    }
+}

@@ -1,0 +1,117 @@
+//! Deterministic case runner.
+
+use rand::SeedableRng;
+
+use crate::strategy::{Strategy, TestRng};
+
+/// Runner configuration (`ProptestConfig` in the prelude).
+#[derive(Clone, Debug)]
+pub struct Config {
+    /// Number of accepted cases to run per test.
+    pub cases: u32,
+    /// Maximum `prop_assume!` rejections before the test errors out.
+    pub max_global_rejects: u32,
+}
+
+impl Config {
+    pub fn with_cases(cases: u32) -> Config {
+        Config {
+            cases,
+            ..Config::default()
+        }
+    }
+}
+
+impl Default for Config {
+    fn default() -> Self {
+        Config {
+            cases: 256,
+            max_global_rejects: 65_536,
+        }
+    }
+}
+
+/// Why a single case did not pass.
+#[derive(Clone, Debug)]
+pub enum TestCaseError {
+    /// The case was discarded (`prop_assume!`); it does not count.
+    Reject(String),
+    /// The case failed (`prop_assert*`).
+    Fail(String),
+}
+
+impl TestCaseError {
+    pub fn reject(msg: impl Into<String>) -> TestCaseError {
+        TestCaseError::Reject(msg.into())
+    }
+
+    pub fn fail(msg: impl Into<String>) -> TestCaseError {
+        TestCaseError::Fail(msg.into())
+    }
+}
+
+/// Drives a strategy through `Config::cases` generated inputs.
+pub struct TestRunner {
+    config: Config,
+    seed: u64,
+    name: &'static str,
+}
+
+impl TestRunner {
+    pub fn new(config: Config, name: &'static str) -> TestRunner {
+        // Per-test base seed: stable across runs (deterministic CI), distinct
+        // per test name, overridable for exploration.
+        let base = std::env::var("PROPTEST_SEED")
+            .ok()
+            .and_then(|s| s.parse::<u64>().ok())
+            .unwrap_or(0x5eed_cafe_f00d_0001);
+        let mut h = 0xcbf2_9ce4_8422_2325u64; // FNV-1a over the test name
+        for b in name.bytes() {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x100_0000_01b3);
+        }
+        TestRunner {
+            config,
+            seed: base ^ h,
+            name,
+        }
+    }
+
+    pub fn run<S, F>(&mut self, strategy: &S, mut test: F)
+    where
+        S: Strategy,
+        F: FnMut(S::Value) -> Result<(), TestCaseError>,
+    {
+        let mut accepted = 0u32;
+        let mut rejected = 0u32;
+        let mut case = 0u64;
+        while accepted < self.config.cases {
+            let case_seed = self
+                .seed
+                .wrapping_add(case.wrapping_mul(0x9E37_79B9_7F4A_7C15));
+            let mut rng = TestRng::seed_from_u64(case_seed);
+            case += 1;
+            let value = strategy.new_value(&mut rng);
+            match test(value) {
+                Ok(()) => accepted += 1,
+                Err(TestCaseError::Reject(_)) => {
+                    rejected += 1;
+                    if rejected > self.config.max_global_rejects {
+                        panic!(
+                            "proptest '{}': too many rejected cases ({rejected}) — \
+                             weaken the prop_assume! or widen the strategy",
+                            self.name
+                        );
+                    }
+                }
+                Err(TestCaseError::Fail(msg)) => {
+                    panic!(
+                        "proptest '{}' failed at case #{case} (seed {case_seed}): {msg}\n\
+                         (re-run with PROPTEST_SEED to explore other streams)",
+                        self.name
+                    );
+                }
+            }
+        }
+    }
+}
