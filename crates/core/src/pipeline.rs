@@ -82,9 +82,23 @@ pub struct TrendReport {
     pub series: Vec<SeriesReport>,
     /// Cause categorisation for prescription series with a detected change.
     pub causes: Vec<(SeriesKey, ChangeCause)>,
+    /// Series the panel held before the Section VI total-frequency filter.
+    pub series_total: usize,
+    /// Series dropped by `series_min_total` — so reports can state coverage,
+    /// not just detections.
+    pub series_dropped: usize,
 }
 
 impl TrendReport {
+    /// Fraction of the panel's series that passed the total-frequency filter
+    /// and were analysed (1.0 for an empty panel).
+    pub fn coverage(&self) -> f64 {
+        if self.series_total == 0 {
+            1.0
+        } else {
+            self.series.len() as f64 / self.series_total as f64
+        }
+    }
     /// Reports with a detected change point, most-significant first.
     pub fn detected(&self) -> Vec<&SeriesReport> {
         let mut v: Vec<&SeriesReport> = self
@@ -140,12 +154,27 @@ impl TrendPipeline {
 
     /// Stage 1: fit monthly medication models and reproduce the panel.
     pub fn reproduce_panel(&self, ds: &ClaimsDataset) -> PrescriptionPanel {
+        let _span = mic_obs::span("pipeline.stage1");
         let mut builder = PanelBuilder::new(ds.n_diseases, ds.n_medicines, ds.horizon());
         for month in &ds.months {
-            let (filtered, _) =
+            let (filtered, vocab) =
                 self.config
                     .frequency_filter
                     .filter_month(month, ds.n_diseases, ds.n_medicines);
+            // The frequency filter's silent drops, made visible: entities
+            // below the per-month threshold and the records they emptied.
+            mic_obs::counter(
+                "pipeline.diseases_dropped",
+                (ds.n_diseases - vocab.n_kept_diseases()) as u64,
+            );
+            mic_obs::counter(
+                "pipeline.medicines_dropped",
+                (ds.n_medicines - vocab.n_kept_medicines()) as u64,
+            );
+            mic_obs::counter(
+                "pipeline.records_dropped",
+                (month.records.len() - filtered.records.len()) as u64,
+            );
             let model =
                 MedicationModel::fit(&filtered, ds.n_diseases, ds.n_medicines, &self.config.em);
             builder.add_month(&filtered, &model);
@@ -155,7 +184,13 @@ impl TrendPipeline {
 
     /// Stage 2: change detection over every filtered series.
     pub fn detect_changes(&self, panel: &PrescriptionPanel) -> Vec<SeriesReport> {
+        let _span = mic_obs::span("pipeline.stage2");
         let keys = panel.filtered_keys(self.config.series_min_total);
+        mic_obs::counter("pipeline.series_admitted", keys.len() as u64);
+        mic_obs::counter(
+            "pipeline.series_dropped",
+            (panel.n_series() - keys.len()) as u64,
+        );
         let threads = if self.config.threads == 0 {
             default_threads()
         } else {
@@ -163,7 +198,13 @@ impl TrendPipeline {
         };
         parallel_map(&keys, threads, |&key| {
             let ys = panel.series(key).expect("filtered key must have a series");
-            self.analyze_series(key, ys)
+            let report = self.analyze_series(key, ys);
+            mic_obs::counter("pipeline.fits", report.fits_performed as u64);
+            mic_obs::value("pipeline.fits_per_series", report.fits_performed as f64);
+            // Publish this worker's collector so periodic `--progress`
+            // snapshots see work as it completes, not only at join.
+            mic_obs::flush();
+            report
         })
     }
 
@@ -195,8 +236,10 @@ impl TrendPipeline {
 
     /// Run the full pipeline: reproduce, detect, categorise.
     pub fn run(&self, ds: &ClaimsDataset) -> TrendReport {
+        let _span = mic_obs::span("pipeline.total");
         let panel = self.reproduce_panel(ds);
         let series = self.detect_changes(&panel);
+        let classify_span = mic_obs::span("pipeline.classify");
         // Index change points for categorisation, and group broken pairs by
         // medicine for the sibling-support rule.
         let mut by_key: HashMap<SeriesKey, &SeriesReport> = HashMap::new();
@@ -234,10 +277,15 @@ impl TrendPipeline {
                 causes.push((r.key, classify_change(t, disease_cp, medicine_cp, siblings)));
             }
         }
+        classify_span.end();
+        let series_total = panel.n_series();
+        let series_dropped = series_total - series.len();
         TrendReport {
             panel,
             series,
             causes,
+            series_total,
+            series_dropped,
         }
     }
 }
@@ -289,6 +337,12 @@ mod tests {
             !report.series.is_empty(),
             "some series must survive filtering"
         );
+        // Coverage bookkeeping: analysed + dropped partition the panel.
+        assert_eq!(
+            report.series.len() + report.series_dropped,
+            report.series_total
+        );
+        assert!((0.0..=1.0).contains(&report.coverage()));
         // Detection rates are valid fractions.
         let (rd, rm, rp) = report.detection_rates();
         for r in [rd, rm, rp] {
@@ -376,6 +430,8 @@ mod tests {
                 mk(2, 100.0, 140.0),                 // gain 40
             ],
             causes: Vec::new(),
+            series_total: 3,
+            series_dropped: 0,
         };
         let det = report.detected();
         assert_eq!(det.len(), 3);

@@ -7,7 +7,7 @@ use crate::scenarios::{evaluation_spec, simulate};
 use mic_claims::ClaimsDataset;
 use mic_linkmodel::{EmOptions, MedicationModel, PanelBuilder, PrescriptionPanel, SeriesKey};
 use mic_statespace::{approx_change_point, exact_change_point, ChangePointSearch, FitOptions};
-use std::time::{Duration, Instant};
+use std::time::Duration;
 
 /// The reproduced evaluation panel plus the series selected for analysis.
 pub struct EvaluationPanel {
@@ -79,11 +79,37 @@ pub struct SearchComparison {
     pub key: SeriesKey,
     pub exact: ChangePointSearch,
     pub approx: ChangePointSearch,
-    pub exact_time: Duration,
-    pub approx_time: Duration,
-    /// Wall time of a single no-intervention fit (the Table V cost
-    /// baseline).
-    pub base_time: Duration,
+}
+
+/// Aggregate cost of one search pass, read from the `mic-obs` recorder
+/// (snapshot deltas around each phase) rather than private `Instant` timers.
+/// This is the Table V measurement: totals come from the `kf.search.exact` /
+/// `kf.search.approx` / `kf.fit` timers, fit and candidate counts from the
+/// matching counters, and the cost unit `C_KF` from the `kf.loglik` timer.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct SearchCost {
+    /// Total wall time of all exact (Algorithm 1) searches in the pass.
+    pub exact_total: Duration,
+    /// Total wall time of all approximate (Algorithm 2) searches.
+    pub approx_total: Duration,
+    /// Total wall time of one no-intervention fit per series (the Table V
+    /// cost baseline).
+    pub base_total: Duration,
+    /// Structural fits performed by the exact searches.
+    pub fits_exact: u64,
+    /// Structural fits performed by the approximate searches.
+    pub fits_approx: u64,
+    /// Candidate change points scored by the exact searches.
+    pub candidates_exact: u64,
+    /// Candidate change points scored by the approximate searches.
+    pub candidates_approx: u64,
+    /// Measured `C_KF`: mean wall time of one Kalman likelihood
+    /// evaluation during the pass, in nanoseconds.
+    pub kf_cost_unit_ns: f64,
+}
+
+fn timer_total(snap: &mic_obs::Snapshot, name: &str) -> Duration {
+    Duration::from_nanos(snap.timer(name).map_or(0, |t| t.total_ns))
 }
 
 /// Run both algorithms over `keys`.
@@ -96,28 +122,52 @@ pub fn compare_searches(
     keys.iter()
         .map(|&key| {
             let ys = eval.series(key);
-            let t0 = Instant::now();
             let exact = exact_change_point(ys, seasonal, fit);
-            let exact_time = t0.elapsed();
-            let t1 = Instant::now();
             let approx = approx_change_point(ys, seasonal, fit);
-            let approx_time = t1.elapsed();
-            let t2 = Instant::now();
-            let spec = if seasonal {
-                mic_statespace::StructuralSpec::with_seasonal()
-            } else {
-                mic_statespace::StructuralSpec::local_level()
-            };
-            let _ = mic_statespace::fit_structural(ys, spec, fit);
-            let base_time = t2.elapsed();
-            SearchComparison {
-                key,
-                exact,
-                approx,
-                exact_time,
-                approx_time,
-                base_time,
-            }
+            SearchComparison { key, exact, approx }
         })
         .collect()
+}
+
+/// Run both algorithms over `keys` with the instrumentation recorder on,
+/// and return the pass cost measured from metric snapshot deltas.
+///
+/// The searches and the baseline no-intervention fits run as separate
+/// phases so the shared `kf.fit` timer can attribute the baseline total;
+/// `kf.search.*` timers distinguish exact from approximate within the
+/// search phase.
+pub fn compare_searches_metered(
+    eval: &EvaluationPanel,
+    keys: &[SeriesKey],
+    seasonal: bool,
+    fit: &FitOptions,
+) -> (Vec<SearchComparison>, SearchCost) {
+    mic_obs::enable();
+    let before = mic_obs::snapshot();
+    let results = compare_searches(eval, keys, seasonal, fit);
+    let after_search = mic_obs::snapshot();
+    for &key in keys {
+        let ys = eval.series(key);
+        let spec = if seasonal {
+            mic_statespace::StructuralSpec::with_seasonal()
+        } else {
+            mic_statespace::StructuralSpec::local_level()
+        };
+        let _ = mic_statespace::fit_structural(ys, spec, fit);
+    }
+    let after_base = mic_obs::snapshot();
+
+    let search = after_search.delta(&before);
+    let base = after_base.delta(&after_search);
+    let cost = SearchCost {
+        exact_total: timer_total(&search, "kf.search.exact"),
+        approx_total: timer_total(&search, "kf.search.approx"),
+        base_total: timer_total(&base, "kf.fit"),
+        fits_exact: search.counter("kf.fits_exact"),
+        fits_approx: search.counter("kf.fits_approx"),
+        candidates_exact: search.counter("kf.candidates_exact"),
+        candidates_approx: search.counter("kf.candidates_approx"),
+        kf_cost_unit_ns: search.timer("kf.loglik").map_or(f64::NAN, |t| t.mean_ns()),
+    };
+    (results, cost)
 }

@@ -87,6 +87,8 @@ impl MedicationModel {
         opts: &EmOptions,
     ) -> MedicationModel {
         assert!(n_diseases > 0 && n_medicines > 0, "empty vocabulary");
+        let _fit_span = mic_obs::span("em.fit");
+        mic_obs::counter("em.fits", 1);
         // η from Eq. 4: normalised diagnosis counts.
         let df = month.disease_frequencies(n_diseases);
         let total_diag: u64 = df.iter().sum();
@@ -132,6 +134,7 @@ impl MedicationModel {
             model.log_likelihood = ll;
             model.iterations = iter + 1;
             if prev_ll.is_finite() {
+                mic_obs::value("em.loglik_delta", ll - prev_ll);
                 let rel = (ll - prev_ll).abs() / (prev_ll.abs() + 1e-12);
                 if rel < opts.tol {
                     break;
@@ -170,6 +173,9 @@ impl MedicationModel {
                         model.phi = new_phi;
                         model.log_likelihood = ll;
                         model.iterations = iter + 1;
+                        if prev_ll.is_finite() {
+                            mic_obs::value("em.loglik_delta", ll - prev_ll);
+                        }
                         if prev_ll.is_finite()
                             && (ll - prev_ll).abs() / (prev_ll.abs() + 1e-12) < opts.tol
                         {
@@ -194,6 +200,10 @@ impl MedicationModel {
         month: &MonthlyDataset,
         prior: Option<(&[PhiRow], f64)>,
     ) -> (Vec<PhiRow>, f64) {
+        // The mean of the `em.step` timer is the measured C_EM (Table V).
+        let _step = mic_obs::span("em.step");
+        mic_obs::counter("em.iterations", 1);
+        let mut resp_allocs = 0u64;
         let mut new_phi: Vec<PhiRow> = match prior {
             Some((prev, weight)) => prev
                 .iter()
@@ -214,6 +224,11 @@ impl MedicationModel {
             for &m in &r.medicines {
                 // q_rld ∝ θ_rd · φ_dm over the diseases present in r (Eq. 6).
                 q_buf.clear();
+                if q_buf.capacity() < r.diseases.len() {
+                    // Responsibility-buffer growth: the reallocation pressure
+                    // an EmWorkspace (ROADMAP) would eliminate.
+                    resp_allocs += 1;
+                }
                 let mut denom = 0.0;
                 for &(d, n_rd) in &r.diseases {
                     let theta = n_rd as f64 / n_r;
@@ -236,6 +251,7 @@ impl MedicationModel {
                 }
             }
         }
+        mic_obs::counter("em.resp_buffer_allocs", resp_allocs);
         (new_phi, ll)
     }
 

@@ -62,6 +62,13 @@ impl PrescriptionPanel {
         self.prescriptions.len()
     }
 
+    /// Total number of series the panel holds (disease marginals, medicine
+    /// marginals, and prescription pairs), i.e. the candidate population the
+    /// Section VI series filter selects from.
+    pub fn n_series(&self) -> usize {
+        self.diseases.len() + self.medicines.len() + self.prescriptions.len()
+    }
+
     /// The reproduced prescription series for `(d, m)`, if any mass was ever
     /// assigned to the pair.
     pub fn prescription_series(&self, d: DiseaseId, m: MedicineId) -> Option<&[f64]> {

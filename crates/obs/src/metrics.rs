@@ -1,0 +1,263 @@
+//! Metric aggregates: monotonic counters, value statistics, and log-scale
+//! latency histograms.
+//!
+//! All aggregates are mergeable: the thread-local collectors accumulate
+//! independently and the global snapshot merges them pairwise. Counter and
+//! histogram merges are integer additions, so the merged result is identical
+//! regardless of the order worker collectors arrive in.
+
+use std::collections::HashMap;
+
+/// Number of log₂ histogram buckets. Bucket `i > 0` covers durations in
+/// `[2^(i−1), 2^i)` nanoseconds; bucket 0 holds exact zeros. 63 doublings
+/// cover ~292 years, so the top bucket also absorbs any overflow.
+pub const N_BUCKETS: usize = 64;
+
+/// Bucket index for a duration in nanoseconds.
+#[inline]
+pub fn bucket_index(ns: u64) -> usize {
+    (64 - ns.leading_zeros() as usize).min(N_BUCKETS - 1)
+}
+
+/// Inclusive upper bound (ns) of bucket `i` — the value quantile estimates
+/// report.
+#[inline]
+pub fn bucket_upper_ns(i: usize) -> u64 {
+    if i == 0 {
+        0
+    } else {
+        (1u64 << i).wrapping_sub(1)
+    }
+}
+
+/// Aggregated timings for one named span: count/total/min/max plus a
+/// log-scale histogram for quantile estimates.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct TimerStat {
+    pub count: u64,
+    pub total_ns: u64,
+    /// `u64::MAX` when no sample has been recorded.
+    pub min_ns: u64,
+    pub max_ns: u64,
+    pub buckets: [u64; N_BUCKETS],
+}
+
+impl Default for TimerStat {
+    fn default() -> Self {
+        TimerStat {
+            count: 0,
+            total_ns: 0,
+            min_ns: u64::MAX,
+            max_ns: 0,
+            buckets: [0; N_BUCKETS],
+        }
+    }
+}
+
+impl TimerStat {
+    pub fn record_ns(&mut self, ns: u64) {
+        self.count += 1;
+        self.total_ns = self.total_ns.saturating_add(ns);
+        self.min_ns = self.min_ns.min(ns);
+        self.max_ns = self.max_ns.max(ns);
+        self.buckets[bucket_index(ns)] += 1;
+    }
+
+    pub fn merge(&mut self, other: &TimerStat) {
+        self.count += other.count;
+        self.total_ns = self.total_ns.saturating_add(other.total_ns);
+        self.min_ns = self.min_ns.min(other.min_ns);
+        self.max_ns = self.max_ns.max(other.max_ns);
+        for (b, o) in self.buckets.iter_mut().zip(&other.buckets) {
+            *b += o;
+        }
+    }
+
+    pub fn mean_ns(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.total_ns as f64 / self.count as f64
+        }
+    }
+
+    /// Quantile estimate (bucket upper bound) for `q ∈ [0, 1]`.
+    pub fn quantile_ns(&self, q: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let target = ((q.clamp(0.0, 1.0) * self.count as f64).ceil()).max(1.0) as u64;
+        let mut cum = 0u64;
+        for (i, &b) in self.buckets.iter().enumerate() {
+            cum += b;
+            if cum >= target {
+                // Never report past the true maximum.
+                return bucket_upper_ns(i).min(self.max_ns);
+            }
+        }
+        self.max_ns
+    }
+
+    /// Subtract an earlier cumulative measurement (for interval deltas).
+    pub fn saturating_sub(&self, earlier: &TimerStat) -> TimerStat {
+        let mut buckets = [0u64; N_BUCKETS];
+        for (i, b) in buckets.iter_mut().enumerate() {
+            *b = self.buckets[i].saturating_sub(earlier.buckets[i]);
+        }
+        TimerStat {
+            count: self.count.saturating_sub(earlier.count),
+            total_ns: self.total_ns.saturating_sub(earlier.total_ns),
+            // min/max are not invertible; keep the cumulative bounds.
+            min_ns: self.min_ns,
+            max_ns: self.max_ns,
+            buckets,
+        }
+    }
+}
+
+/// Statistics over recorded `f64` observations (e.g. per-iteration
+/// log-likelihood deltas).
+#[derive(Clone, Debug, PartialEq)]
+pub struct ValueStat {
+    pub count: u64,
+    pub sum: f64,
+    pub min: f64,
+    pub max: f64,
+    /// Most recently recorded observation.
+    pub last: f64,
+}
+
+impl Default for ValueStat {
+    fn default() -> Self {
+        ValueStat {
+            count: 0,
+            sum: 0.0,
+            min: f64::INFINITY,
+            max: f64::NEG_INFINITY,
+            last: 0.0,
+        }
+    }
+}
+
+impl ValueStat {
+    pub fn record(&mut self, v: f64) {
+        self.count += 1;
+        self.sum += v;
+        self.min = self.min.min(v);
+        self.max = self.max.max(v);
+        self.last = v;
+    }
+
+    pub fn merge(&mut self, other: &ValueStat) {
+        if other.count == 0 {
+            return;
+        }
+        self.count += other.count;
+        self.sum += other.sum;
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+        self.last = other.last;
+    }
+
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum / self.count as f64
+        }
+    }
+}
+
+/// One thread's accumulated metrics between publishes.
+#[derive(Debug, Default)]
+pub(crate) struct LocalCollector {
+    pub(crate) counters: HashMap<&'static str, u64>,
+    pub(crate) values: HashMap<&'static str, ValueStat>,
+    pub(crate) timers: HashMap<&'static str, TimerStat>,
+}
+
+impl LocalCollector {
+    pub(crate) fn is_empty(&self) -> bool {
+        self.counters.is_empty() && self.values.is_empty() && self.timers.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bucket_boundaries() {
+        assert_eq!(bucket_index(0), 0);
+        assert_eq!(bucket_index(1), 1);
+        assert_eq!(bucket_index(2), 2);
+        assert_eq!(bucket_index(3), 2);
+        assert_eq!(bucket_index(4), 3);
+        assert_eq!(bucket_index(u64::MAX), N_BUCKETS - 1);
+        // Bucket i covers [2^(i-1), 2^i): its upper bound is 2^i − 1.
+        assert_eq!(bucket_upper_ns(0), 0);
+        assert_eq!(bucket_upper_ns(1), 1);
+        assert_eq!(bucket_upper_ns(10), 1023);
+    }
+
+    #[test]
+    fn timer_quantiles_bound_the_samples() {
+        let mut t = TimerStat::default();
+        for ns in [10u64, 20, 30, 1000, 5000] {
+            t.record_ns(ns);
+        }
+        assert_eq!(t.count, 5);
+        assert_eq!(t.min_ns, 10);
+        assert_eq!(t.max_ns, 5000);
+        assert!(t.quantile_ns(0.5) >= 20 && t.quantile_ns(0.5) < 64);
+        assert_eq!(
+            t.quantile_ns(1.0),
+            5000.min(bucket_upper_ns(bucket_index(5000)))
+        );
+        assert!((t.mean_ns() - 1212.0).abs() < 1.0);
+    }
+
+    #[test]
+    fn timer_merge_is_commutative() {
+        let mut a = TimerStat::default();
+        let mut b = TimerStat::default();
+        for ns in [5u64, 100, 900] {
+            a.record_ns(ns);
+        }
+        for ns in [7u64, 7, 80_000] {
+            b.record_ns(ns);
+        }
+        let mut ab = a.clone();
+        ab.merge(&b);
+        let mut ba = b.clone();
+        ba.merge(&a);
+        assert_eq!(ab, ba);
+        assert_eq!(ab.count, 6);
+        assert_eq!(ab.total_ns, 5 + 100 + 900 + 7 + 7 + 80_000);
+    }
+
+    #[test]
+    fn value_stat_tracks_extrema() {
+        let mut v = ValueStat::default();
+        v.record(1.5);
+        v.record(-2.0);
+        v.record(0.25);
+        assert_eq!(v.count, 3);
+        assert_eq!(v.min, -2.0);
+        assert_eq!(v.max, 1.5);
+        assert_eq!(v.last, 0.25);
+        assert!((v.mean() - (-0.25 / 3.0)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn timer_delta_subtracts_cumulative() {
+        let mut before = TimerStat::default();
+        before.record_ns(100);
+        let mut after = before.clone();
+        after.record_ns(200);
+        after.record_ns(300);
+        let d = after.saturating_sub(&before);
+        assert_eq!(d.count, 2);
+        assert_eq!(d.total_ns, 500);
+    }
+}

@@ -1,0 +1,489 @@
+//! Merged point-in-time view of every published collector, with a JSONL
+//! serialisation that round-trips through the crate's own tiny parser (the
+//! build is offline: no serde).
+//!
+//! One metric per line, `type` ∈ {`counter`, `value`, `timer`, `derived`}:
+//!
+//! ```text
+//! {"type":"counter","name":"em.iterations","value":123}
+//! {"type":"timer","name":"kf.loglik","count":10,"total_ns":...,"buckets":[[3,1],[5,9]]}
+//! ```
+//!
+//! Timer lines additionally carry `mean_ns`/`p50_ns`/`p99_ns` for human and
+//! downstream-tool consumption; those are recomputed on parse, not read.
+
+use crate::metrics::{LocalCollector, TimerStat, ValueStat, N_BUCKETS};
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+/// A merged, cumulative view of all metrics recorded since the last
+/// [`crate::reset`].
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct Snapshot {
+    pub counters: BTreeMap<String, u64>,
+    pub values: BTreeMap<String, ValueStat>,
+    pub timers: BTreeMap<String, TimerStat>,
+    /// Caller-computed quantities (e.g. cost units) carried into the JSONL.
+    pub derived: BTreeMap<String, f64>,
+}
+
+impl Snapshot {
+    pub fn is_empty(&self) -> bool {
+        self.counters.is_empty()
+            && self.values.is_empty()
+            && self.timers.is_empty()
+            && self.derived.is_empty()
+    }
+
+    /// Counter value (0 when never recorded).
+    pub fn counter(&self, name: &str) -> u64 {
+        self.counters.get(name).copied().unwrap_or(0)
+    }
+
+    pub fn timer(&self, name: &str) -> Option<&TimerStat> {
+        self.timers.get(name)
+    }
+
+    pub fn value(&self, name: &str) -> Option<&ValueStat> {
+        self.values.get(name)
+    }
+
+    /// Attach a derived quantity (ignored unless finite).
+    pub fn add_derived(&mut self, name: &str, v: f64) {
+        if v.is_finite() {
+            self.derived.insert(name.to_string(), v);
+        }
+    }
+
+    pub(crate) fn merge_local(&mut self, local: LocalCollector) {
+        for (name, v) in local.counters {
+            *self.counters.entry(name.to_string()).or_insert(0) += v;
+        }
+        for (name, v) in local.values {
+            self.values.entry(name.to_string()).or_default().merge(&v);
+        }
+        for (name, v) in local.timers {
+            self.timers.entry(name.to_string()).or_default().merge(&v);
+        }
+    }
+
+    /// Merge another snapshot into this one (counters add, stats merge,
+    /// derived values overwrite).
+    pub fn merge(&mut self, other: &Snapshot) {
+        for (name, v) in &other.counters {
+            *self.counters.entry(name.clone()).or_insert(0) += v;
+        }
+        for (name, v) in &other.values {
+            self.values.entry(name.clone()).or_default().merge(v);
+        }
+        for (name, v) in &other.timers {
+            self.timers.entry(name.clone()).or_default().merge(v);
+        }
+        for (name, v) in &other.derived {
+            self.derived.insert(name.clone(), *v);
+        }
+    }
+
+    /// The change since an `earlier` cumulative snapshot: counters and timer
+    /// totals subtract; value stats and derived entries are taken from
+    /// `self` as-is (they are not invertible).
+    pub fn delta(&self, earlier: &Snapshot) -> Snapshot {
+        let mut out = Snapshot::default();
+        for (name, v) in &self.counters {
+            out.counters
+                .insert(name.clone(), v.saturating_sub(earlier.counter(name)));
+        }
+        for (name, v) in &self.timers {
+            let d = match earlier.timers.get(name) {
+                Some(e) => v.saturating_sub(e),
+                None => v.clone(),
+            };
+            out.timers.insert(name.clone(), d);
+        }
+        out.values = self.values.clone();
+        out.derived = self.derived.clone();
+        out
+    }
+
+    /// Serialise to JSONL (one metric per line, deterministic order).
+    pub fn to_jsonl(&self) -> String {
+        let mut s = String::new();
+        for (name, v) in &self.counters {
+            let _ = writeln!(
+                s,
+                "{{\"type\":\"counter\",\"name\":\"{}\",\"value\":{v}}}",
+                escape(name)
+            );
+        }
+        for (name, v) in &self.values {
+            let _ = writeln!(
+                s,
+                "{{\"type\":\"value\",\"name\":\"{}\",\"count\":{},\"sum\":{},\"min\":{},\"max\":{},\"last\":{},\"mean\":{}}}",
+                escape(name),
+                v.count,
+                fmt_f64(v.sum),
+                fmt_f64(v.min),
+                fmt_f64(v.max),
+                fmt_f64(v.last),
+                fmt_f64(v.mean()),
+            );
+        }
+        for (name, t) in &self.timers {
+            let mut buckets = String::from("[");
+            for (i, &b) in t.buckets.iter().enumerate() {
+                if b > 0 {
+                    if buckets.len() > 1 {
+                        buckets.push(',');
+                    }
+                    let _ = write!(buckets, "[{i},{b}]");
+                }
+            }
+            buckets.push(']');
+            let _ = writeln!(
+                s,
+                "{{\"type\":\"timer\",\"name\":\"{}\",\"count\":{},\"total_ns\":{},\"min_ns\":{},\"max_ns\":{},\"mean_ns\":{},\"p50_ns\":{},\"p99_ns\":{},\"buckets\":{buckets}}}",
+                escape(name),
+                t.count,
+                t.total_ns,
+                if t.count == 0 { 0 } else { t.min_ns },
+                t.max_ns,
+                fmt_f64(t.mean_ns()),
+                t.quantile_ns(0.5),
+                t.quantile_ns(0.99),
+            );
+        }
+        for (name, v) in &self.derived {
+            let _ = writeln!(
+                s,
+                "{{\"type\":\"derived\",\"name\":\"{}\",\"value\":{}}}",
+                escape(name),
+                fmt_f64(*v)
+            );
+        }
+        s
+    }
+
+    /// Parse a JSONL document produced by [`Snapshot::to_jsonl`].
+    pub fn from_jsonl(text: &str) -> Result<Snapshot, String> {
+        let mut out = Snapshot::default();
+        for (lineno, line) in text.lines().enumerate() {
+            let line = line.trim();
+            if line.is_empty() {
+                continue;
+            }
+            let obj = parse_object(line).map_err(|e| format!("line {}: {e}", lineno + 1))?;
+            let get = |key: &str| -> Result<&Json, String> {
+                obj.iter()
+                    .find(|(k, _)| k == key)
+                    .map(|(_, v)| v)
+                    .ok_or_else(|| format!("line {}: missing key {key:?}", lineno + 1))
+            };
+            let name = get("name")?.as_str()?.to_string();
+            match get("type")?.as_str()? {
+                "counter" => {
+                    out.counters.insert(name, get("value")?.as_u64()?);
+                }
+                "value" => {
+                    let v = ValueStat {
+                        count: get("count")?.as_u64()?,
+                        sum: get("sum")?.as_f64()?,
+                        min: get("min")?.as_f64()?,
+                        max: get("max")?.as_f64()?,
+                        last: get("last")?.as_f64()?,
+                    };
+                    out.values.insert(name, v);
+                }
+                "timer" => {
+                    let mut t = TimerStat {
+                        count: get("count")?.as_u64()?,
+                        total_ns: get("total_ns")?.as_u64()?,
+                        min_ns: get("min_ns")?.as_u64()?,
+                        max_ns: get("max_ns")?.as_u64()?,
+                        buckets: [0; N_BUCKETS],
+                    };
+                    if t.count == 0 {
+                        t.min_ns = u64::MAX;
+                    }
+                    for pair in get("buckets")?.as_array()? {
+                        let pair = pair.as_array()?;
+                        if pair.len() != 2 {
+                            return Err(format!("line {}: bad bucket pair", lineno + 1));
+                        }
+                        let i = pair[0].as_u64()? as usize;
+                        if i >= N_BUCKETS {
+                            return Err(format!("line {}: bucket index {i}", lineno + 1));
+                        }
+                        t.buckets[i] = pair[1].as_u64()?;
+                    }
+                    out.timers.insert(name, t);
+                }
+                "derived" => {
+                    out.derived.insert(name, get("value")?.as_f64()?);
+                }
+                other => return Err(format!("line {}: unknown type {other:?}", lineno + 1)),
+            }
+        }
+        Ok(out)
+    }
+}
+
+/// Shortest-round-trip float formatting (Rust's `{}` is exact on re-parse);
+/// non-finite values — which the recorder never stores — degrade to 0.
+fn fmt_f64(v: f64) -> String {
+    if v.is_finite() {
+        format!("{v}")
+    } else {
+        "0".to_string()
+    }
+}
+
+fn escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Minimal JSON value for the flat objects this crate emits.
+#[derive(Debug)]
+enum Json {
+    Num(f64),
+    Str(String),
+    Arr(Vec<Json>),
+}
+
+impl Json {
+    fn as_str(&self) -> Result<&str, String> {
+        match self {
+            Json::Str(s) => Ok(s),
+            other => Err(format!("expected string, got {other:?}")),
+        }
+    }
+
+    fn as_f64(&self) -> Result<f64, String> {
+        match self {
+            Json::Num(v) => Ok(*v),
+            other => Err(format!("expected number, got {other:?}")),
+        }
+    }
+
+    fn as_u64(&self) -> Result<u64, String> {
+        let v = self.as_f64()?;
+        if v < 0.0 || v.fract() != 0.0 || v > u64::MAX as f64 {
+            return Err(format!("expected unsigned integer, got {v}"));
+        }
+        Ok(v as u64)
+    }
+
+    fn as_array(&self) -> Result<&[Json], String> {
+        match self {
+            Json::Arr(v) => Ok(v),
+            other => Err(format!("expected array, got {other:?}")),
+        }
+    }
+}
+
+fn parse_object(line: &str) -> Result<Vec<(String, Json)>, String> {
+    let mut p = Parser {
+        chars: line.char_indices().peekable(),
+        src: line,
+    };
+    p.skip_ws();
+    p.expect('{')?;
+    let mut out = Vec::new();
+    p.skip_ws();
+    if p.eat('}') {
+        return Ok(out);
+    }
+    loop {
+        p.skip_ws();
+        let key = p.parse_string()?;
+        p.skip_ws();
+        p.expect(':')?;
+        let value = p.parse_value()?;
+        out.push((key, value));
+        p.skip_ws();
+        if p.eat(',') {
+            continue;
+        }
+        p.expect('}')?;
+        return Ok(out);
+    }
+}
+
+struct Parser<'a> {
+    chars: std::iter::Peekable<std::str::CharIndices<'a>>,
+    src: &'a str,
+}
+
+impl Parser<'_> {
+    fn skip_ws(&mut self) {
+        while matches!(self.chars.peek(), Some((_, c)) if c.is_ascii_whitespace()) {
+            self.chars.next();
+        }
+    }
+
+    fn eat(&mut self, c: char) -> bool {
+        if matches!(self.chars.peek(), Some((_, x)) if *x == c) {
+            self.chars.next();
+            true
+        } else {
+            false
+        }
+    }
+
+    fn expect(&mut self, c: char) -> Result<(), String> {
+        match self.chars.next() {
+            Some((_, x)) if x == c => Ok(()),
+            other => Err(format!("expected {c:?}, got {other:?}")),
+        }
+    }
+
+    fn parse_string(&mut self) -> Result<String, String> {
+        self.expect('"')?;
+        let mut out = String::new();
+        loop {
+            match self.chars.next() {
+                None => return Err("unterminated string".into()),
+                Some((_, '"')) => return Ok(out),
+                Some((_, '\\')) => match self.chars.next() {
+                    Some((_, '"')) => out.push('"'),
+                    Some((_, '\\')) => out.push('\\'),
+                    Some((_, 'n')) => out.push('\n'),
+                    Some((_, 't')) => out.push('\t'),
+                    Some((_, 'u')) => {
+                        let mut code = 0u32;
+                        for _ in 0..4 {
+                            let (_, c) = self.chars.next().ok_or("truncated \\u escape")?;
+                            code = code * 16
+                                + c.to_digit(16)
+                                    .ok_or_else(|| format!("bad hex digit {c:?}"))?;
+                        }
+                        out.push(char::from_u32(code).ok_or("bad \\u code point")?);
+                    }
+                    other => return Err(format!("bad escape {other:?}")),
+                },
+                Some((_, c)) => out.push(c),
+            }
+        }
+    }
+
+    fn parse_value(&mut self) -> Result<Json, String> {
+        self.skip_ws();
+        match self.chars.peek() {
+            Some((_, '"')) => Ok(Json::Str(self.parse_string()?)),
+            Some((_, '[')) => {
+                self.chars.next();
+                let mut items = Vec::new();
+                self.skip_ws();
+                if self.eat(']') {
+                    return Ok(Json::Arr(items));
+                }
+                loop {
+                    items.push(self.parse_value()?);
+                    self.skip_ws();
+                    if self.eat(',') {
+                        continue;
+                    }
+                    self.expect(']')?;
+                    return Ok(Json::Arr(items));
+                }
+            }
+            Some(&(start, c)) if c == '-' || c.is_ascii_digit() => {
+                let mut end = start;
+                while let Some(&(i, c)) = self.chars.peek() {
+                    if c == '-'
+                        || c == '+'
+                        || c == '.'
+                        || c == 'e'
+                        || c == 'E'
+                        || c.is_ascii_digit()
+                    {
+                        end = i + c.len_utf8();
+                        self.chars.next();
+                    } else {
+                        break;
+                    }
+                }
+                self.src[start..end]
+                    .parse::<f64>()
+                    .map(Json::Num)
+                    .map_err(|e| format!("bad number {:?}: {e}", &self.src[start..end]))
+            }
+            other => Err(format!("unexpected token {other:?}")),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn jsonl_round_trips() {
+        let mut s = Snapshot::default();
+        s.counters.insert("em.iterations".into(), 123);
+        s.counters.insert("pipeline.series_dropped".into(), 0);
+        let mut v = ValueStat::default();
+        v.record(0.5);
+        v.record(-1.25);
+        s.values.insert("em.loglik_delta".into(), v);
+        let mut t = TimerStat::default();
+        for ns in [10u64, 20, 1_000_000, 3] {
+            t.record_ns(ns);
+        }
+        s.timers.insert("kf.loglik".into(), t);
+        s.add_derived("kf.cost_unit_ns", 41.75);
+
+        let text = s.to_jsonl();
+        let parsed = Snapshot::from_jsonl(&text).expect("parse back");
+        assert_eq!(parsed, s);
+    }
+
+    #[test]
+    fn empty_snapshot_round_trips() {
+        let s = Snapshot::default();
+        assert_eq!(Snapshot::from_jsonl(&s.to_jsonl()).unwrap(), s);
+    }
+
+    #[test]
+    fn escaped_names_round_trip() {
+        let mut s = Snapshot::default();
+        s.counters.insert("weird \"name\"\\with\nstuff".into(), 7);
+        let parsed = Snapshot::from_jsonl(&s.to_jsonl()).unwrap();
+        assert_eq!(parsed, s);
+    }
+
+    #[test]
+    fn rejects_malformed_lines() {
+        assert!(Snapshot::from_jsonl("{\"type\":\"counter\"}").is_err());
+        assert!(Snapshot::from_jsonl("not json").is_err());
+        assert!(Snapshot::from_jsonl("{\"type\":\"nope\",\"name\":\"x\",\"value\":1}").is_err());
+    }
+
+    #[test]
+    fn delta_subtracts_counters_and_timers() {
+        let mut a = Snapshot::default();
+        a.counters.insert("c".into(), 10);
+        let mut t = TimerStat::default();
+        t.record_ns(100);
+        a.timers.insert("t".into(), t);
+
+        let mut b = a.clone();
+        *b.counters.get_mut("c").unwrap() = 25;
+        b.timers.get_mut("t").unwrap().record_ns(50);
+
+        let d = b.delta(&a);
+        assert_eq!(d.counter("c"), 15);
+        assert_eq!(d.timer("t").unwrap().count, 1);
+        assert_eq!(d.timer("t").unwrap().total_ns, 50);
+    }
+}

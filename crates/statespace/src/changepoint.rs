@@ -308,6 +308,8 @@ pub fn exact_change_point_with(
     opts: &FitOptions,
     criterion: SelectionCriterion,
 ) -> ChangePointSearch {
+    let _span = mic_obs::span("kf.search.exact");
+    mic_obs::counter("kf.searches_exact", 1);
     let n = ys.len();
     let mut ctx = SearchContext::new(ys, seasonal, opts, criterion);
     if ctx.too_short() {
@@ -323,7 +325,10 @@ pub fn exact_change_point_with(
             best_cp = cp;
         }
     }
-    ctx.finish(best_cp, best_aic)
+    let r = ctx.finish(best_cp, best_aic);
+    mic_obs::counter("kf.candidates_exact", r.aic_by_candidate.len() as u64);
+    mic_obs::counter("kf.fits_exact", r.fits_performed as u64);
+    r
 }
 
 /// Algorithm 2: AIC-guided binary search. Exploits the empirical
@@ -340,6 +345,8 @@ pub fn approx_change_point_with(
     opts: &FitOptions,
     criterion: SelectionCriterion,
 ) -> ChangePointSearch {
+    let _span = mic_obs::span("kf.search.approx");
+    mic_obs::counter("kf.searches_approx", 1);
     let n = ys.len();
     let mut ctx = SearchContext::new(ys, seasonal, opts, criterion);
     if ctx.too_short() {
@@ -388,7 +395,10 @@ pub fn approx_change_point_with(
             break;
         }
     }
-    ctx.finish(best_cp, best_aic)
+    let r = ctx.finish(best_cp, best_aic);
+    mic_obs::counter("kf.candidates_approx", r.aic_by_candidate.len() as u64);
+    mic_obs::counter("kf.fits_approx", r.fits_performed as u64);
+    r
 }
 
 #[cfg(test)]

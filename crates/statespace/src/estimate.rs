@@ -186,6 +186,8 @@ pub fn fit_structural_with_skip_ws(
     extra_skips: &[usize],
     ws: &mut FilterWorkspace,
 ) -> FittedStructural {
+    let _fit_span = mic_obs::span("kf.fit");
+    mic_obs::counter("kf.fits", 1);
     let n = ys.len();
     let q = spec.state_dim();
     assert!(
@@ -207,7 +209,11 @@ pub fn fit_structural_with_skip_ws(
     let mut objective = |x: &[f64]| -> f64 {
         let params = params_from_log(x, var_y);
         spec.apply_params(&params, &mut ssm);
+        // The mean of the `kf.loglik` timer is the measured C_KF (Table V).
+        mic_obs::counter("kf.loglik_evals", 1);
+        let eval_span = mic_obs::span("kf.loglik");
         let loglik = kalman_loglik(&ssm, ys, ws);
+        eval_span.end();
         if loglik.is_finite() {
             -loglik
         } else {
@@ -233,6 +239,7 @@ pub fn fit_structural_with_skip_ws(
     for start in starts.iter().take(opts.n_starts.max(1)) {
         let x0: Vec<f64> = start.iter().take(n_var).copied().collect();
         let r = nelder_mead(&mut objective, &x0, &nm_opts);
+        mic_obs::counter("kf.nm_evals", r.evals as u64);
         let evals = r.evals;
         match &best {
             Some((_, fx, _)) if *fx <= r.fx => {}

@@ -51,7 +51,15 @@ pub fn smooth(ssm: &Ssm, filter: &FilterResult) -> SmoothResult {
             .map(|i| p_pred_next[(i, i)].abs())
             .fold(1.0_f64, f64::max);
         let mut j = Mat::zeros(m, m);
-        'attempt: for ridge in [1e-10, 1e-10 * scale, 1e-6 * scale] {
+        let mut solved = false;
+        'attempt: for (attempt, ridge) in
+            [1e-10, 1e-10 * scale, 1e-6 * scale].into_iter().enumerate()
+        {
+            if attempt == 1 {
+                // Leaving the historical 1e-10 ridge: a numerically singular
+                // predicted covariance forced an escalation.
+                mic_obs::counter("kf.smoother_ridge_escalations", 1);
+            }
             let mut reg = p_pred_next.clone();
             for i in 0..m {
                 reg[(i, i)] += ridge;
@@ -71,7 +79,12 @@ pub fn smooth(ssm: &Ssm, filter: &FilterResult) -> SmoothResult {
                     j[(col, row)] = x[row];
                 }
             }
+            solved = true;
             break;
+        }
+        if !solved {
+            // J stays 0: the smoothed state falls back to the filtered one.
+            mic_obs::counter("kf.smoother_filtered_fallbacks", 1);
         }
         // â_t = a_{t|t} + J (â_{t+1} − a_{t+1|t}).
         let diff: Vec<f64> = (0..m)

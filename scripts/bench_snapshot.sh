@@ -1,0 +1,16 @@
+#!/usr/bin/env bash
+# Capture an instrumentation-overhead baseline: run the `obs` bench group
+# (recorder entry points and the instrumented Kalman likelihood hot path,
+# disabled vs enabled) and store BENCH_obs.json for later comparison.
+#
+#   ./scripts/bench_snapshot.sh                # -> results/bench/BENCH_obs.json
+#   BENCH_JSON_DIR=/tmp ./scripts/bench_snapshot.sh
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+out="${BENCH_JSON_DIR:-$PWD/results/bench}"
+mkdir -p "$out"
+
+echo "==> obs overhead bench (JSON -> $out)"
+BENCH_JSON_DIR="$out" cargo bench -p mic-bench --bench obs
+ls -l "$out"/BENCH_obs.json

@@ -19,6 +19,19 @@ cargo fmt --check
 echo "==> cargo clippy -- -D warnings"
 cargo clippy --workspace --all-targets -- -D warnings
 
+echo "==> metrics smoke gate (mictrend analyze --metrics)"
+tmp="$(mktemp -d)"
+trap 'rm -rf "$tmp"' EXIT
+cargo run --release -q --bin mictrend -- simulate --out "$tmp/claims.mic" \
+    --seed 11 --months 24 --patients 150 --diseases 15 --medicines 20
+cargo run --release -q --bin mictrend -- analyze --data "$tmp/claims.mic" \
+    --metrics "$tmp/metrics.jsonl" > /dev/null
+for key in em.iterations em.cost_unit_ns kf.loglik_evals kf.cost_unit_ns \
+           pipeline.series_dropped pipeline.total; do
+    grep -q "\"name\":\"$key\"" "$tmp/metrics.jsonl" \
+        || { echo "metrics smoke gate: missing $key in snapshot"; exit 1; }
+done
+
 if [[ "${RUN_BENCHES:-0}" == "1" ]]; then
     echo "==> criterion benches (JSON -> results/bench/)"
     mkdir -p results/bench

@@ -6,6 +6,7 @@
 //!                   [--diseases N] [--medicines N]
 //! mictrend stats    --data claims.mic
 //! mictrend analyze  --data claims.mic [--exact] [--no-seasonal] [--top N]
+//!                   [--metrics FILE] [--progress]
 //! mictrend series   --data claims.mic --kind <disease|medicine> --id N
 //! ```
 //!
@@ -22,6 +23,9 @@ use std::collections::HashMap;
 use std::fs::File;
 use std::io::{BufReader, BufWriter};
 use std::process::ExitCode;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::Instant;
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -39,8 +43,12 @@ fn main() -> ExitCode {
 const USAGE: &str = "usage:
   mictrend simulate --out FILE [--seed N] [--months N] [--patients N] [--diseases N] [--medicines N]
   mictrend stats    --data FILE
-  mictrend analyze  --data FILE [--exact] [--no-seasonal] [--top N]
-  mictrend series   --data FILE --kind disease|medicine --id N";
+  mictrend analyze  --data FILE [--exact] [--no-seasonal] [--top N] [--metrics FILE] [--progress]
+  mictrend series   --data FILE --kind disease|medicine --id N
+
+  --metrics FILE  write an instrumentation snapshot (JSONL: em.*, kf.*,
+                  pipeline.* counters/timers plus derived cost units)
+  --progress      print a periodic metrics summary to stderr while analysing";
 
 /// Minimal flag parser: `--name value` pairs plus boolean flags.
 struct Flags {
@@ -59,7 +67,7 @@ impl Flags {
                 return Err(format!("unexpected argument {arg:?}"));
             };
             // Boolean switches take no value.
-            if matches!(name, "exact" | "no-seasonal") {
+            if matches!(name, "exact" | "no-seasonal" | "progress") {
                 switches.push(name.to_string());
                 i += 1;
             } else {
@@ -144,9 +152,46 @@ fn stats(flags: &Flags) -> Result<(), String> {
     Ok(())
 }
 
+/// One-line metrics digest for `--progress`.
+fn progress_line(s: &mic_obs::Snapshot, elapsed: std::time::Duration) -> String {
+    let done = s
+        .value("pipeline.fits_per_series")
+        .map(|v| v.count)
+        .unwrap_or(0);
+    format!(
+        "[{:>6.1}s] series done {done} | fits {} | em iters {} | kf evals {} | C_EM {} | C_KF {}",
+        elapsed.as_secs_f64(),
+        s.counter("pipeline.fits"),
+        s.counter("em.iterations"),
+        s.counter("kf.loglik_evals"),
+        mic_obs::format_ns(s.timer("em.step").map_or(f64::NAN, |t| t.mean_ns())),
+        mic_obs::format_ns(s.timer("kf.loglik").map_or(f64::NAN, |t| t.mean_ns())),
+    )
+}
+
+/// Snapshot with the Table V cost units attached: `C_EM` = mean wall time of
+/// an EM step, `C_KF` = mean wall time of one Kalman likelihood evaluation.
+fn snapshot_with_cost_units() -> mic_obs::Snapshot {
+    let mut snap = mic_obs::snapshot();
+    let c_em = snap.timer("em.step").map(|t| t.mean_ns());
+    let c_kf = snap.timer("kf.loglik").map(|t| t.mean_ns());
+    if let Some(v) = c_em {
+        snap.add_derived("em.cost_unit_ns", v);
+    }
+    if let Some(v) = c_kf {
+        snap.add_derived("kf.cost_unit_ns", v);
+    }
+    snap
+}
+
 fn analyze(flags: &Flags) -> Result<(), String> {
     let dataset = load(flags)?;
     let top: usize = flags.get_num("top", 15usize)?;
+    let metrics_path = flags.get("metrics").map(str::to_string);
+    let progress = flags.has("progress");
+    if metrics_path.is_some() || progress {
+        mic_obs::enable();
+    }
     let config = PipelineConfig {
         approximate_search: !flags.has("exact"),
         seasonal: !flags.has("no-seasonal") && dataset.horizon() >= 16,
@@ -165,11 +210,41 @@ fn analyze(flags: &Flags) -> Result<(), String> {
             "exhaustive (Algorithm 1)"
         }
     );
+    let stop = Arc::new(AtomicBool::new(false));
+    let ticker = progress.then(|| {
+        let stop = Arc::clone(&stop);
+        let started = Instant::now();
+        std::thread::spawn(move || {
+            while !stop.load(Ordering::Relaxed) {
+                std::thread::sleep(std::time::Duration::from_millis(1000));
+                if stop.load(Ordering::Relaxed) {
+                    break;
+                }
+                eprintln!("{}", progress_line(&mic_obs::snapshot(), started.elapsed()));
+            }
+        })
+    });
     let report = TrendPipeline::new(config).run(&dataset);
+    stop.store(true, Ordering::Relaxed);
+    if let Some(handle) = ticker {
+        let _ = handle.join();
+    }
+    if let Some(path) = &metrics_path {
+        let snap = snapshot_with_cost_units();
+        std::fs::write(path, snap.to_jsonl())
+            .map_err(|e| format!("cannot write metrics to {path}: {e}"))?;
+        eprintln!("metrics snapshot written to {path}");
+    }
     let (rd, rm, rp) = report.detection_rates();
     println!(
-        "series analysed: {} | change rates: disease {:.1}%, medicine {:.1}%, prescription {:.1}%",
+        "series analysed: {} of {} ({} dropped by the total-frequency filter; coverage {:.1}%)",
         report.series.len(),
+        report.series_total,
+        report.series_dropped,
+        100.0 * report.coverage()
+    );
+    println!(
+        "change rates: disease {:.1}%, medicine {:.1}%, prescription {:.1}%",
         100.0 * rd,
         100.0 * rm,
         100.0 * rp
