@@ -1,108 +1,9 @@
-//! Scoped-thread parallel map.
+//! Parallel primitives, re-exported from [`mic_par`].
 //!
-//! The paper fits state space models to >200k series on a 20-core machine;
-//! each fit is independent, so a simple atomic-counter work queue over
-//! `std::thread::scope` gives near-linear scaling without any external
-//! dependency. Results are returned in input order.
+//! The work-queue lives in its own bottom-of-the-stack crate so every layer
+//! can use it: `mic-statespace` parallelises the candidates inside one
+//! exhaustive change-point search, `mic-linkmodel` the independent monthly
+//! EM fits of a tracked sequence, and this crate the Stage-1 month fits and
+//! the Stage-2 per-series fleet.
 
-use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::Mutex;
-
-/// Apply `f` to every item on `n_threads` threads, preserving input order.
-/// With `n_threads <= 1` (or a single item) runs inline.
-///
-/// `f` must be `Sync` (shared across threads by reference).
-pub fn parallel_map<T, R, F>(items: &[T], n_threads: usize, f: F) -> Vec<R>
-where
-    T: Sync,
-    R: Send,
-    F: Fn(&T) -> R + Sync,
-{
-    if items.is_empty() {
-        return Vec::new();
-    }
-    let threads = n_threads.clamp(1, items.len());
-    if threads == 1 {
-        return items.iter().map(&f).collect();
-    }
-    let next = AtomicUsize::new(0);
-    let results: Vec<Mutex<Option<R>>> = (0..items.len()).map(|_| Mutex::new(None)).collect();
-    std::thread::scope(|scope| {
-        for _ in 0..threads {
-            scope.spawn(|| loop {
-                let i = next.fetch_add(1, Ordering::Relaxed);
-                if i >= items.len() {
-                    break;
-                }
-                let r = f(&items[i]);
-                *results[i].lock().expect("poisoned result slot") = Some(r);
-            });
-        }
-    });
-    results
-        .into_iter()
-        .map(|m| {
-            m.into_inner()
-                .expect("poisoned")
-                .expect("every slot filled")
-        })
-        .collect()
-}
-
-/// A sensible default thread count: available parallelism minus one (leave a
-/// core for the OS), at least one.
-pub fn default_threads() -> usize {
-    std::thread::available_parallelism()
-        .map(|n| n.get().saturating_sub(1).max(1))
-        .unwrap_or(1)
-}
-
-#[cfg(test)]
-mod tests {
-    use super::*;
-    use std::sync::atomic::AtomicU64;
-
-    #[test]
-    fn preserves_order() {
-        let items: Vec<u64> = (0..1000).collect();
-        let out = parallel_map(&items, 8, |&x| x * 2);
-        assert_eq!(out, items.iter().map(|x| x * 2).collect::<Vec<_>>());
-    }
-
-    #[test]
-    fn single_thread_inline() {
-        let items = vec![1, 2, 3];
-        let out = parallel_map(&items, 1, |&x| x + 1);
-        assert_eq!(out, vec![2, 3, 4]);
-    }
-
-    #[test]
-    fn empty_input() {
-        let items: Vec<u32> = vec![];
-        let out: Vec<u32> = parallel_map(&items, 4, |&x| x);
-        assert!(out.is_empty());
-    }
-
-    #[test]
-    fn every_item_processed_exactly_once() {
-        let counter = AtomicU64::new(0);
-        let items: Vec<usize> = (0..500).collect();
-        let out = parallel_map(&items, 7, |_| {
-            counter.fetch_add(1, Ordering::Relaxed);
-        });
-        assert_eq!(out.len(), 500);
-        assert_eq!(counter.load(Ordering::Relaxed), 500);
-    }
-
-    #[test]
-    fn more_threads_than_items() {
-        let items = vec![10, 20];
-        let out = parallel_map(&items, 64, |&x| x / 10);
-        assert_eq!(out, vec![1, 2]);
-    }
-
-    #[test]
-    fn default_threads_positive() {
-        assert!(default_threads() >= 1);
-    }
-}
+pub use mic_par::{default_threads, parallel_map, parallel_map_with};

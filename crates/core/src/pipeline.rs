@@ -7,11 +7,14 @@
 //! detected changes.
 
 use crate::classify::{classify_change, ChangeCause};
-use crate::parallel::{default_threads, parallel_map};
+use crate::parallel::{default_threads, parallel_map, parallel_map_with};
 use mic_claims::{ClaimsDataset, FrequencyFilter};
-use mic_linkmodel::{EmOptions, MedicationModel, PanelBuilder, PrescriptionPanel, SeriesKey};
+use mic_linkmodel::{
+    EmOptions, EmWorkspace, MedicationModel, PanelBuilder, PrescriptionPanel, SeriesKey,
+};
 use mic_statespace::{
-    approx_change_point, exact_change_point, ChangePoint, ChangePointSearch, FitOptions,
+    approx_change_point, exact_change_point, exact_change_point_par, ChangePoint,
+    ChangePointSearch, FitOptions,
 };
 use std::collections::HashMap;
 
@@ -34,6 +37,14 @@ pub struct PipelineConfig {
     pub seasonal: bool,
     /// Worker threads for the state-space fleet (0 = auto).
     pub threads: usize,
+    /// Worker threads for Stage 1's monthly EM fits (0 = auto). Months are
+    /// independent fits, so the panel is identical at any thread count.
+    pub stage1_threads: usize,
+    /// Candidate-parallel workers *inside* each exhaustive change-point
+    /// search (0 or 1 = serial). Only useful when the series fleet itself
+    /// is small (few, very long series); combining a large `threads` with
+    /// `search_threads > 1` oversubscribes the machine.
+    pub search_threads: usize,
 }
 
 impl Default for PipelineConfig {
@@ -46,6 +57,8 @@ impl Default for PipelineConfig {
             approximate_search: true,
             seasonal: true,
             threads: 0,
+            stage1_threads: 0,
+            search_threads: 0,
         }
     }
 }
@@ -153,14 +166,38 @@ impl TrendPipeline {
     }
 
     /// Stage 1: fit monthly medication models and reproduce the panel.
+    ///
+    /// Months are independent EM fits, so filtering + fitting fans out over
+    /// `stage1_threads` workers, each reusing one [`EmWorkspace`] across its
+    /// share of the months; the panel accumulation stays serial and
+    /// in-month-order, so the result is identical at any thread count.
     pub fn reproduce_panel(&self, ds: &ClaimsDataset) -> PrescriptionPanel {
         let _span = mic_obs::span("pipeline.stage1");
-        let mut builder = PanelBuilder::new(ds.n_diseases, ds.n_medicines, ds.horizon());
-        for month in &ds.months {
+        let threads = if self.config.stage1_threads == 0 {
+            default_threads()
+        } else {
+            self.config.stage1_threads
+        };
+        let fitted = parallel_map_with(&ds.months, threads, EmWorkspace::new, |ws, month| {
             let (filtered, vocab) =
                 self.config
                     .frequency_filter
                     .filter_month(month, ds.n_diseases, ds.n_medicines);
+            let model = MedicationModel::fit_with(
+                &filtered,
+                ds.n_diseases,
+                ds.n_medicines,
+                &self.config.em,
+                ws,
+            );
+            mic_obs::counter("pipeline.stage1_fits", 1);
+            // Publish this worker's collector so periodic `--progress`
+            // snapshots see Stage-1 work as it completes.
+            mic_obs::flush();
+            (filtered, vocab, model)
+        });
+        let mut builder = PanelBuilder::new(ds.n_diseases, ds.n_medicines, ds.horizon());
+        for (month, (filtered, vocab, model)) in ds.months.iter().zip(&fitted) {
             // The frequency filter's silent drops, made visible: entities
             // below the per-month threshold and the records they emptied.
             mic_obs::counter(
@@ -175,9 +212,7 @@ impl TrendPipeline {
                 "pipeline.records_dropped",
                 (month.records.len() - filtered.records.len()) as u64,
             );
-            let model =
-                MedicationModel::fit(&filtered, ds.n_diseases, ds.n_medicines, &self.config.em);
-            builder.add_month(&filtered, &model);
+            builder.add_month(filtered, model);
         }
         builder.build()
     }
@@ -229,6 +264,13 @@ impl TrendPipeline {
     fn search(&self, ys: &[f64]) -> ChangePointSearch {
         if self.config.approximate_search {
             approx_change_point(ys, self.config.seasonal, &self.config.fit)
+        } else if self.config.search_threads > 1 {
+            exact_change_point_par(
+                ys,
+                self.config.seasonal,
+                &self.config.fit,
+                self.config.search_threads,
+            )
         } else {
             exact_change_point(ys, self.config.seasonal, &self.config.fit)
         }
@@ -440,6 +482,33 @@ mod tests {
         assert!(det[2].aic_gain().is_nan(), "NaN gain must sort last");
     }
 
+    fn assert_reports_identical(a: &TrendReport, b: &TrendReport) {
+        assert_eq!(a.series.len(), b.series.len());
+        for (x, y) in a.series.iter().zip(&b.series) {
+            assert_eq!(x.key, y.key, "series order must be preserved");
+            assert_eq!(x.change_point, y.change_point);
+            assert_eq!(x.aic.to_bits(), y.aic.to_bits(), "{}", x.key);
+            assert_eq!(x.lambda.to_bits(), y.lambda.to_bits());
+        }
+        assert_eq!(a.panel.horizon(), b.panel.horizon());
+        // iter_prescriptions walks a HashMap — sort before comparing.
+        let collect = |r: &TrendReport| {
+            let mut v: Vec<_> = r
+                .panel
+                .iter_prescriptions()
+                .map(|(d, m, s)| ((d.0, m.0), s.to_vec()))
+                .collect();
+            v.sort_by_key(|&(k, _)| k);
+            v
+        };
+        for ((ka, sa), (kb, sb)) in collect(a).iter().zip(&collect(b)) {
+            assert_eq!(ka, kb);
+            for (va, vb) in sa.iter().zip(sb) {
+                assert_eq!(va.to_bits(), vb.to_bits(), "panel cell {ka:?}");
+            }
+        }
+    }
+
     #[test]
     fn parallel_pipeline_is_deterministic() {
         // The scoped-thread work queue must not change results or order:
@@ -456,14 +525,49 @@ mod tests {
                 ..fast_config()
             };
             let report = TrendPipeline::new(cfg).run(&ds);
-            assert_eq!(report.series.len(), base.series.len());
-            for (a, b) in report.series.iter().zip(&base.series) {
-                assert_eq!(a.key, b.key, "series order must be preserved");
-                assert_eq!(a.change_point, b.change_point);
-                assert_eq!(a.aic.to_bits(), b.aic.to_bits(), "{}", a.key);
-                assert_eq!(a.lambda.to_bits(), b.lambda.to_bits());
-            }
+            assert_reports_identical(&report, &base);
         }
+    }
+
+    #[test]
+    fn stage1_thread_count_does_not_change_the_panel() {
+        // Stage 1's per-worker EmWorkspace fan-out must be invisible in the
+        // output: any worker count builds the same panel and report as the
+        // serial pass, bit for bit.
+        let (_world, ds) = small_ds();
+        let base = TrendPipeline::new(PipelineConfig {
+            stage1_threads: 1,
+            ..fast_config()
+        })
+        .run(&ds);
+        for stage1_threads in [2usize, 4, 8] {
+            let report = TrendPipeline::new(PipelineConfig {
+                stage1_threads,
+                ..fast_config()
+            })
+            .run(&ds);
+            assert_reports_identical(&report, &base);
+        }
+    }
+
+    #[test]
+    fn candidate_parallel_search_does_not_change_the_report() {
+        // Routing the exhaustive per-series search through the
+        // candidate-parallel mode must leave every detection untouched.
+        let (_world, ds) = small_ds();
+        let serial = TrendPipeline::new(PipelineConfig {
+            search_threads: 1,
+            approximate_search: false,
+            ..fast_config()
+        })
+        .run(&ds);
+        let par = TrendPipeline::new(PipelineConfig {
+            search_threads: 4,
+            approximate_search: false,
+            ..fast_config()
+        })
+        .run(&ds);
+        assert_reports_identical(&par, &serial);
     }
 
     #[test]

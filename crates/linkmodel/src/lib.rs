@@ -51,9 +51,11 @@ pub mod gibbs;
 pub mod model;
 pub mod predict;
 pub mod reproduce;
+pub mod workspace;
 
 pub use baseline::{CooccurrenceModel, UnigramModel};
 pub use gibbs::{fit_gibbs, GibbsMedicationModel, GibbsOptions};
 pub use model::{EmOptions, MedicationModel};
 pub use predict::{perplexity, split_records, MedicinePredictor, SplitOptions};
 pub use reproduce::{PanelBuilder, PrescriptionPanel, SeriesKey};
+pub use workspace::EmWorkspace;

@@ -14,7 +14,9 @@
 //! (Dirichlet-MAP) smoothing keeps held-out probabilities finite, applied
 //! identically to the baselines so the Table III comparison stays fair.
 
+use crate::workspace::EmWorkspace;
 use mic_claims::{DiseaseId, MedicineId, MonthlyDataset};
+use mic_par::parallel_map_with;
 use std::collections::HashMap;
 
 /// EM hyperparameters.
@@ -41,14 +43,18 @@ impl Default for EmOptions {
 /// Sparse disease-conditional medicine distribution: row `d` maps medicine →
 /// expected count; probabilities are read through the smoothed transform
 /// `φ_dm = (count + s) / (total + s·M)`.
+///
+/// Since the [`EmWorkspace`] rebuild this is purely the fitted model's
+/// *query-time* representation — the EM hot loop runs on the workspace's
+/// dense buffers and converts back once at convergence.
 #[derive(Clone, Debug)]
-struct PhiRow {
-    counts: HashMap<u32, f64>,
-    total: f64,
+pub(crate) struct PhiRow {
+    pub(crate) counts: HashMap<u32, f64>,
+    pub(crate) total: f64,
 }
 
 impl PhiRow {
-    fn empty() -> PhiRow {
+    pub(crate) fn empty() -> PhiRow {
         PhiRow {
             counts: HashMap::new(),
             total: 0.0,
@@ -78,26 +84,172 @@ pub struct MedicationModel {
     pub iterations: usize,
 }
 
+/// The single EM convergence driver: runs `step` (one combined E+M
+/// iteration returning the pre-step log-likelihood) until the relative
+/// improvement drops below `opts.tol` or `opts.max_iters` is reached.
+/// Returns the final log-likelihood and the iterations run. Both the
+/// independent fit and the tracked refine pass share this loop, so the
+/// workspace path has a single call site for the iterate / `loglik_delta` /
+/// tolerance check logic.
+fn drive_em(opts: &EmOptions, mut step: impl FnMut() -> f64) -> (f64, usize) {
+    let mut ll = f64::NEG_INFINITY;
+    let mut iterations = 0;
+    let mut prev_ll = f64::NEG_INFINITY;
+    for iter in 0..opts.max_iters {
+        ll = step();
+        iterations = iter + 1;
+        if prev_ll.is_finite() {
+            mic_obs::value("em.loglik_delta", ll - prev_ll);
+            if (ll - prev_ll).abs() / (prev_ll.abs() + 1e-12) < opts.tol {
+                break;
+            }
+        }
+        prev_ll = ll;
+    }
+    (ll, iterations)
+}
+
 impl MedicationModel {
+    /// `η` from Eq. 4: normalised diagnosis counts.
+    fn compute_eta(month: &MonthlyDataset, n_diseases: usize) -> Vec<f64> {
+        let df = month.disease_frequencies(n_diseases);
+        let total_diag: u64 = df.iter().sum();
+        if total_diag == 0 {
+            vec![1.0 / n_diseases as f64; n_diseases]
+        } else {
+            df.iter().map(|&f| f as f64 / total_diag as f64).collect()
+        }
+    }
+
     /// Fit the model to one monthly dataset with EM.
+    ///
+    /// Allocates a fresh [`EmWorkspace`]; callers fitting many months (the
+    /// pipeline's Stage 1, the tracked sequence) should hold one workspace
+    /// per worker and use [`MedicationModel::fit_with`] instead.
     pub fn fit(
         month: &MonthlyDataset,
         n_diseases: usize,
         n_medicines: usize,
         opts: &EmOptions,
     ) -> MedicationModel {
+        MedicationModel::fit_with(
+            month,
+            n_diseases,
+            n_medicines,
+            opts,
+            &mut EmWorkspace::new(),
+        )
+    }
+
+    /// [`MedicationModel::fit`] through a caller-owned [`EmWorkspace`]: the
+    /// month is compiled once into the workspace's flat layout and every EM
+    /// iteration is allocation-free dense-array arithmetic. Reusing the
+    /// workspace across months amortises even the compile-time buffers.
+    pub fn fit_with(
+        month: &MonthlyDataset,
+        n_diseases: usize,
+        n_medicines: usize,
+        opts: &EmOptions,
+        ws: &mut EmWorkspace,
+    ) -> MedicationModel {
         assert!(n_diseases > 0 && n_medicines > 0, "empty vocabulary");
         let _fit_span = mic_obs::span("em.fit");
         mic_obs::counter("em.fits", 1);
-        // η from Eq. 4: normalised diagnosis counts.
-        let df = month.disease_frequencies(n_diseases);
-        let total_diag: u64 = df.iter().sum();
-        let eta: Vec<f64> = if total_diag == 0 {
-            vec![1.0 / n_diseases as f64; n_diseases]
-        } else {
-            df.iter().map(|&f| f as f64 / total_diag as f64).collect()
-        };
+        let eta = Self::compute_eta(month, n_diseases);
+        ws.compile(month, n_diseases, n_medicines);
+        let (ll, iterations) = drive_em(opts, || ws.em_step(opts.smoothing));
+        MedicationModel {
+            n_diseases,
+            n_medicines,
+            smoothing: opts.smoothing,
+            eta,
+            phi: ws.export_phi(n_diseases, None),
+            log_likelihood: ll,
+            iterations,
+        }
+    }
 
+    /// Fit a *tracked* sequence of monthly models: each month's `Φ` M-step
+    /// receives the previous month's expected counts as pseudo-counts with
+    /// weight `continuity ∈ [0, 1)` — the Topic-Tracking-Model-style
+    /// evolution the paper's discussion proposes as an extension. With
+    /// `continuity = 0` this reduces to independent monthly fits.
+    pub fn fit_tracked(
+        months: &[MonthlyDataset],
+        n_diseases: usize,
+        n_medicines: usize,
+        opts: &EmOptions,
+        continuity: f64,
+    ) -> Vec<MedicationModel> {
+        MedicationModel::fit_tracked_threaded(months, n_diseases, n_medicines, opts, continuity, 1)
+    }
+
+    /// [`MedicationModel::fit_tracked`] with a pipelined refine pass: the
+    /// independent monthly fits (the bulk of the cost) run in parallel on
+    /// `threads` workers with one [`EmWorkspace`] each, then the sequential
+    /// temporal-prior refinement — which must see month `t−1`'s refined `Φ`
+    /// — re-imports each fit and chains through the months serially.
+    /// Results are identical for every thread count.
+    pub fn fit_tracked_threaded(
+        months: &[MonthlyDataset],
+        n_diseases: usize,
+        n_medicines: usize,
+        opts: &EmOptions,
+        continuity: f64,
+        threads: usize,
+    ) -> Vec<MedicationModel> {
+        assert!(
+            (0.0..1.0).contains(&continuity),
+            "continuity must be in [0, 1)"
+        );
+        let mut out: Vec<MedicationModel> =
+            parallel_map_with(months, threads, EmWorkspace::new, |ws, month| {
+                MedicationModel::fit_with(month, n_diseases, n_medicines, opts, ws)
+            });
+        if continuity > 0.0 {
+            let mut ws = EmWorkspace::new();
+            for t in 1..out.len() {
+                let (done, rest) = out.split_at_mut(t);
+                let prev = &done[t - 1];
+                rest[0].refine_with(&months[t], &prev.phi, continuity, opts, &mut ws);
+            }
+        }
+        out
+    }
+
+    /// The tracked fit's refine pass for one month: resume EM from this
+    /// model's `Φ` under the previous month's temporal prior.
+    fn refine_with(
+        &mut self,
+        month: &MonthlyDataset,
+        prev_phi: &[PhiRow],
+        continuity: f64,
+        opts: &EmOptions,
+        ws: &mut EmWorkspace,
+    ) {
+        ws.compile(month, self.n_diseases, self.n_medicines);
+        ws.import_phi(&self.phi);
+        ws.set_prior(prev_phi, continuity);
+        let (ll, iterations) = drive_em(opts, || ws.em_step(opts.smoothing));
+        if iterations > 0 {
+            self.phi = ws.export_phi(self.n_diseases, Some((prev_phi, continuity)));
+            self.log_likelihood = ll;
+            self.iterations = iterations;
+        }
+    }
+
+    /// Reference (pre-workspace) fit: the seed's per-iteration `HashMap`
+    /// implementation, kept as the golden model for the workspace parity
+    /// tests and the before/after `C_EM` benchmark. Not for production use.
+    #[doc(hidden)]
+    pub fn fit_reference(
+        month: &MonthlyDataset,
+        n_diseases: usize,
+        n_medicines: usize,
+        opts: &EmOptions,
+    ) -> MedicationModel {
+        assert!(n_diseases > 0 && n_medicines > 0, "empty vocabulary");
+        let eta = Self::compute_eta(month, n_diseases);
         // Initialise Φ from within-record cooccurrence (Eq. 10 shape):
         // a reasonable, deterministic EM start.
         let mut phi: Vec<PhiRow> = (0..n_diseases).map(|_| PhiRow::empty()).collect();
@@ -115,7 +267,6 @@ impl MedicationModel {
                 }
             }
         }
-
         let mut model = MedicationModel {
             n_diseases,
             n_medicines,
@@ -125,32 +276,21 @@ impl MedicationModel {
             log_likelihood: f64::NEG_INFINITY,
             iterations: 0,
         };
-
-        // EM iterations.
-        let mut prev_ll = f64::NEG_INFINITY;
-        for iter in 0..opts.max_iters {
-            let (new_phi, ll) = model.em_step(month, None);
+        let (ll, iterations) = drive_em(opts, || {
+            let (new_phi, ll) = model.em_step_reference(month, None);
             model.phi = new_phi;
+            ll
+        });
+        if iterations > 0 {
             model.log_likelihood = ll;
-            model.iterations = iter + 1;
-            if prev_ll.is_finite() {
-                mic_obs::value("em.loglik_delta", ll - prev_ll);
-                let rel = (ll - prev_ll).abs() / (prev_ll.abs() + 1e-12);
-                if rel < opts.tol {
-                    break;
-                }
-            }
-            prev_ll = ll;
+            model.iterations = iterations;
         }
         model
     }
 
-    /// Fit a *tracked* sequence of monthly models: each month's `Φ` M-step
-    /// receives the previous month's expected counts as pseudo-counts with
-    /// weight `continuity ∈ [0, 1)` — the Topic-Tracking-Model-style
-    /// evolution the paper's discussion proposes as an extension. With
-    /// `continuity = 0` this reduces to independent monthly fits.
-    pub fn fit_tracked(
+    /// Reference (pre-workspace) tracked fit; see [`Self::fit_reference`].
+    #[doc(hidden)]
+    pub fn fit_tracked_reference(
         months: &[MonthlyDataset],
         n_diseases: usize,
         n_medicines: usize,
@@ -163,25 +303,19 @@ impl MedicationModel {
         );
         let mut out: Vec<MedicationModel> = Vec::with_capacity(months.len());
         for month in months {
-            let mut model = MedicationModel::fit(month, n_diseases, n_medicines, opts);
+            let mut model = MedicationModel::fit_reference(month, n_diseases, n_medicines, opts);
             if continuity > 0.0 {
                 if let Some(prev) = out.last() {
                     // Refine with the temporal prior.
-                    let mut prev_ll = f64::NEG_INFINITY;
-                    for iter in 0..opts.max_iters {
-                        let (new_phi, ll) = model.em_step(month, Some((&prev.phi, continuity)));
+                    let (ll, iterations) = drive_em(opts, || {
+                        let (new_phi, ll) =
+                            model.em_step_reference(month, Some((&prev.phi, continuity)));
                         model.phi = new_phi;
+                        ll
+                    });
+                    if iterations > 0 {
                         model.log_likelihood = ll;
-                        model.iterations = iter + 1;
-                        if prev_ll.is_finite() {
-                            mic_obs::value("em.loglik_delta", ll - prev_ll);
-                        }
-                        if prev_ll.is_finite()
-                            && (ll - prev_ll).abs() / (prev_ll.abs() + 1e-12) < opts.tol
-                        {
-                            break;
-                        }
-                        prev_ll = ll;
+                        model.iterations = iterations;
                     }
                 }
             }
@@ -195,14 +329,11 @@ impl MedicationModel {
     /// step, so convergence checks cost nothing extra). An optional
     /// `(previous Φ, weight)` temporal prior contributes the previous
     /// month's expected counts as pseudo-counts to the M-step.
-    fn em_step(
+    fn em_step_reference(
         &self,
         month: &MonthlyDataset,
         prior: Option<(&[PhiRow], f64)>,
     ) -> (Vec<PhiRow>, f64) {
-        // The mean of the `em.step` timer is the measured C_EM (Table V).
-        let _step = mic_obs::span("em.step");
-        mic_obs::counter("em.iterations", 1);
         let mut resp_allocs = 0u64;
         let mut new_phi: Vec<PhiRow> = match prior {
             Some((prev, weight)) => prev

@@ -1,0 +1,374 @@
+//! Allocation-free EM engine: a reusable [`EmWorkspace`] that pre-compiles
+//! one [`MonthlyDataset`] into a CSR-style flat layout and runs the E+M
+//! step (Eqs. 5–6) as pure dense-array arithmetic.
+//!
+//! The seed implementation rebuilt a `HashMap` per `Φ` row on every EM
+//! iteration and grew a fresh responsibility buffer per prescription — the
+//! `em.resp_buffer_allocs` pressure the ROADMAP flagged. The workspace
+//! eliminates both:
+//!
+//! - **compile once**: per-record disease/medicine index slices, the
+//!   record-local `θ` weights (Eq. 2), and a month-local vocabulary remap
+//!   for diseases and medicines are laid out in flat arrays up front;
+//! - **iterate flat**: `Φ` expected counts live in two dense row-major
+//!   buffers (current / next) over the month-local vocabulary, double-
+//!   buffered so one pass reads `Φ^{(k)}` while accumulating `Φ^{(k+1)}`;
+//!   the responsibility scratch is sized to the widest record at compile
+//!   time. An EM iteration performs **zero hash operations and zero heap
+//!   allocations**.
+//!
+//! The sparse `PhiRow` representation survives only as the fitted model's
+//! query-time structure: [`EmWorkspace::export_phi`] converts the dense
+//! counts back after convergence. A temporal prior (the tracked fit's
+//! previous-month `Φ`, weighted by `continuity`) is folded in as constant
+//! per-iteration base counts, including the carried-over mass of medicines
+//! and diseases absent from the current month, so the workspace path is
+//! numerically identical to the reference implementation.
+//!
+//! Every buffer is reused across months (and across fits, via
+//! `parallel_map_with`'s per-worker state), so Stage 1's per-fit heap
+//! traffic is one-time workspace growth that amortises to zero.
+
+use crate::model::PhiRow;
+use mic_claims::MonthlyDataset;
+
+const ABSENT: u32 = u32::MAX;
+
+/// Reusable EM fitting state: compiled month layout, double-buffered dense
+/// `Φ` counts, vocabulary remaps, and the responsibility scratch.
+///
+/// Create one per worker thread and pass it to
+/// [`crate::MedicationModel::fit_with`]; buffers grow to the largest month
+/// seen and are reused thereafter.
+#[derive(Clone, Debug, Default)]
+pub struct EmWorkspace {
+    // --- compiled month (CSR) ---
+    /// Per compiled record: offset into `d_local` / `theta`; length
+    /// `n_records + 1`.
+    rec_d_off: Vec<u32>,
+    /// Per compiled record: offset into `meds`; length `n_records + 1`.
+    rec_m_off: Vec<u32>,
+    /// Month-local disease index per (record, disease) entry.
+    d_local: Vec<u32>,
+    /// `θ_rd = N_rd / N_r` per (record, disease) entry.
+    theta: Vec<f64>,
+    /// Month-local medicine index per prescription event.
+    meds: Vec<u32>,
+    // --- month-local vocabulary remaps ---
+    d_local_to_global: Vec<u32>,
+    m_local_to_global: Vec<u32>,
+    /// Scratch remaps sized to the global vocabularies (`ABSENT` = not in
+    /// this month).
+    d_global_to_local: Vec<u32>,
+    m_global_to_local: Vec<u32>,
+    // --- double-buffered dense Φ over the local vocabulary ---
+    /// Row-major `[d_local * n_m_local + m_local]` expected counts.
+    counts: [Vec<f64>; 2],
+    /// Per-local-disease row totals.
+    totals: [Vec<f64>; 2],
+    /// Which of the two buffers holds the current `Φ`.
+    cur: usize,
+    // --- temporal prior (constant across refine iterations) ---
+    /// In-vocabulary prior base counts (`prev Φ · weight`), dense; empty
+    /// when no prior is set.
+    prior_counts: Vec<f64>,
+    /// Prior row totals per local disease (includes out-of-vocabulary mass).
+    prior_totals: Vec<f64>,
+    /// Prior entries for medicines absent from this month:
+    /// `(global medicine, scaled count)` grouped per local disease row.
+    oov: Vec<(u32, f64)>,
+    /// Row offsets into `oov`; length `n_d_local + 1`.
+    oov_off: Vec<u32>,
+    has_prior: bool,
+    // --- responsibility scratch, sized to the widest record ---
+    q: Vec<f64>,
+    n_medicines_global: usize,
+}
+
+impl EmWorkspace {
+    pub fn new() -> EmWorkspace {
+        EmWorkspace::default()
+    }
+
+    fn n_d_local(&self) -> usize {
+        self.d_local_to_global.len()
+    }
+
+    fn n_m_local(&self) -> usize {
+        self.m_local_to_global.len()
+    }
+
+    /// Compile `month` into the flat layout and initialise the dense `Φ`
+    /// from within-record cooccurrence (the same deterministic Eq. 10-shaped
+    /// start as the reference path). Clears any previously set prior.
+    pub fn compile(&mut self, month: &MonthlyDataset, n_diseases: usize, n_medicines: usize) {
+        mic_obs::counter("em.workspace_compiles", 1);
+        self.n_medicines_global = n_medicines;
+        self.has_prior = false;
+        self.rec_d_off.clear();
+        self.rec_m_off.clear();
+        self.d_local.clear();
+        self.theta.clear();
+        self.meds.clear();
+        self.d_local_to_global.clear();
+        self.m_local_to_global.clear();
+        // Reset the global→local remaps without reallocating.
+        self.d_global_to_local.clear();
+        self.d_global_to_local.resize(n_diseases, ABSENT);
+        self.m_global_to_local.clear();
+        self.m_global_to_local.resize(n_medicines, ABSENT);
+
+        self.rec_d_off.push(0);
+        self.rec_m_off.push(0);
+        let mut max_record_diseases = 0usize;
+        for r in &month.records {
+            let n_r = r.total_diagnoses();
+            // Records without diagnoses or without prescriptions contribute
+            // nothing to the Φ estimate or the likelihood.
+            if n_r == 0 || r.medicines.is_empty() {
+                continue;
+            }
+            let n_r = n_r as f64;
+            for &(d, n_rd) in &r.diseases {
+                let slot = &mut self.d_global_to_local[d.index()];
+                if *slot == ABSENT {
+                    *slot = self.d_local_to_global.len() as u32;
+                    self.d_local_to_global.push(d.0);
+                }
+                self.d_local.push(*slot);
+                self.theta.push(n_rd as f64 / n_r);
+            }
+            for &m in &r.medicines {
+                let slot = &mut self.m_global_to_local[m.index()];
+                if *slot == ABSENT {
+                    *slot = self.m_local_to_global.len() as u32;
+                    self.m_local_to_global.push(m.0);
+                }
+                self.meds.push(*slot);
+            }
+            max_record_diseases = max_record_diseases.max(r.diseases.len());
+            self.rec_d_off.push(self.d_local.len() as u32);
+            self.rec_m_off.push(self.meds.len() as u32);
+        }
+        self.q.clear();
+        self.q.resize(max_record_diseases, 0.0);
+
+        let n_d = self.n_d_local();
+        let cells = n_d * self.n_m_local();
+        for buf in &mut self.counts {
+            buf.clear();
+            buf.resize(cells, 0.0);
+        }
+        for buf in &mut self.totals {
+            buf.clear();
+            buf.resize(n_d, 0.0);
+        }
+        self.cur = 0;
+
+        // Cooccurrence initialisation, in the exact record/entry order of
+        // the reference implementation (bitwise-identical accumulation).
+        let nm = self.n_m_local();
+        let init_counts = &mut self.counts[0];
+        let init_totals = &mut self.totals[0];
+        for rec in 0..self.rec_d_off.len() - 1 {
+            let (d0, d1) = (
+                self.rec_d_off[rec] as usize,
+                self.rec_d_off[rec + 1] as usize,
+            );
+            let (m0, m1) = (
+                self.rec_m_off[rec] as usize,
+                self.rec_m_off[rec + 1] as usize,
+            );
+            for k in d0..d1 {
+                let d = self.d_local[k] as usize;
+                let w = self.theta[k];
+                for &m in &self.meds[m0..m1] {
+                    init_counts[d * nm + m as usize] += w;
+                    init_totals[d] += w;
+                }
+            }
+        }
+    }
+
+    /// Load an existing fitted `Φ` (global sparse rows) into the current
+    /// dense buffer — the tracked fit's refine pass resumes EM from the
+    /// independent fit's estimate. Rows for diseases outside this month's
+    /// vocabulary must be empty (an independent fit of this month never
+    /// produces them).
+    pub(crate) fn import_phi(&mut self, phi: &[PhiRow]) {
+        let nm = self.n_m_local();
+        let counts = &mut self.counts[self.cur];
+        let totals = &mut self.totals[self.cur];
+        counts.iter_mut().for_each(|c| *c = 0.0);
+        totals.iter_mut().for_each(|t| *t = 0.0);
+        for (g, row) in phi.iter().enumerate() {
+            let d = self.d_global_to_local[g];
+            if d == ABSENT {
+                debug_assert!(row.counts.is_empty(), "mass for out-of-month disease {g}");
+                continue;
+            }
+            let d = d as usize;
+            totals[d] = row.total;
+            for (&m, &c) in &row.counts {
+                let ml = self.m_global_to_local[m as usize];
+                debug_assert_ne!(ml, ABSENT, "mass for out-of-month medicine {m}");
+                counts[d * nm + ml as usize] = c;
+            }
+        }
+    }
+
+    /// Install the tracked fit's temporal prior: the previous month's `Φ`
+    /// scaled by `weight` becomes the constant M-step base counts. Mass on
+    /// medicines absent from this month is carried separately (it affects
+    /// row totals and the exported `Φ`, but no dense cell).
+    pub(crate) fn set_prior(&mut self, prev: &[PhiRow], weight: f64) {
+        let nm = self.n_m_local();
+        self.prior_counts.clear();
+        self.prior_counts.resize(self.n_d_local() * nm, 0.0);
+        self.prior_totals.clear();
+        self.prior_totals.resize(self.n_d_local(), 0.0);
+        self.oov.clear();
+        self.oov_off.clear();
+        self.oov_off.push(0);
+        for d in 0..self.n_d_local() {
+            let row = &prev[self.d_local_to_global[d] as usize];
+            self.prior_totals[d] = row.total * weight;
+            // Deterministic order for the out-of-vocabulary tail (HashMap
+            // iteration order is arbitrary; the exported values are
+            // per-entry products, so only the listing order needs pinning).
+            let mut entries: Vec<(&u32, &f64)> = row.counts.iter().collect();
+            entries.sort_unstable_by_key(|(&m, _)| m);
+            for (&m, &c) in entries {
+                match self.m_global_to_local[m as usize] {
+                    ABSENT => self.oov.push((m, c * weight)),
+                    ml => self.prior_counts[d * nm + ml as usize] = c * weight,
+                }
+            }
+            self.oov_off.push(self.oov.len() as u32);
+        }
+        self.has_prior = true;
+    }
+
+    /// One combined E+M step over the compiled month: reads the current
+    /// dense `Φ`, accumulates the next one, flips the buffers, and returns
+    /// the log-likelihood of the data under the *pre-step* `Φ` (Eqs. 5–6).
+    ///
+    /// The loop body indexes pre-sized flat arrays only — no hashing, no
+    /// allocation. `em.resp_buffer_allocs` is reported as a hard zero
+    /// because the responsibility scratch is sized at compile time.
+    pub fn em_step(&mut self, smoothing: f64) -> f64 {
+        // The mean of the `em.step` timer is the measured C_EM (Table V).
+        let _step = mic_obs::span("em.step");
+        mic_obs::counter("em.iterations", 1);
+        mic_obs::counter("em.resp_buffer_allocs", 0);
+        let nm = self.n_m_local();
+        let nxt = 1 - self.cur;
+        let smooth_denom = smoothing * self.n_medicines_global as f64;
+        // Split the double buffer into disjoint (read, write) halves.
+        let (a, b) = self.counts.split_at_mut(1);
+        let (counts_cur, counts_nxt) = if self.cur == 0 {
+            (&a[0], &mut b[0])
+        } else {
+            (&b[0], &mut a[0])
+        };
+        let (a, b) = self.totals.split_at_mut(1);
+        let (totals_cur, totals_nxt) = if self.cur == 0 {
+            (&a[0], &mut b[0])
+        } else {
+            (&b[0], &mut a[0])
+        };
+        if self.has_prior {
+            counts_nxt.copy_from_slice(&self.prior_counts);
+            totals_nxt.copy_from_slice(&self.prior_totals);
+        } else {
+            counts_nxt.iter_mut().for_each(|c| *c = 0.0);
+            totals_nxt.iter_mut().for_each(|t| *t = 0.0);
+        }
+        let mut ll = 0.0;
+        for rec in 0..self.rec_d_off.len() - 1 {
+            let (d0, d1) = (
+                self.rec_d_off[rec] as usize,
+                self.rec_d_off[rec + 1] as usize,
+            );
+            let (m0, m1) = (
+                self.rec_m_off[rec] as usize,
+                self.rec_m_off[rec + 1] as usize,
+            );
+            for &m in &self.meds[m0..m1] {
+                let m = m as usize;
+                // E step: q_rld ∝ θ_rd · φ_dm over the record's diseases
+                // (Eq. 6), smoothed read of the current Φ.
+                let mut denom = 0.0;
+                for k in d0..d1 {
+                    let d = self.d_local[k] as usize;
+                    let p = self.theta[k] * (counts_cur[d * nm + m] + smoothing)
+                        / (totals_cur[d] + smooth_denom);
+                    self.q[k - d0] = p;
+                    denom += p;
+                }
+                if denom <= 0.0 {
+                    // Unreachable with smoothing > 0, but stay total.
+                    continue;
+                }
+                ll += denom.ln();
+                // M step: scatter the normalised responsibilities (Eq. 5).
+                for k in d0..d1 {
+                    let q = self.q[k - d0] / denom;
+                    if q > 0.0 {
+                        let d = self.d_local[k] as usize;
+                        counts_nxt[d * nm + m] += q;
+                        totals_nxt[d] += q;
+                    }
+                }
+            }
+        }
+        self.cur = nxt;
+        ll
+    }
+
+    /// Convert the current dense `Φ` back into the model's sparse global
+    /// [`PhiRow`] representation; with a prior set, rows for diseases absent
+    /// from this month carry the scaled previous-month mass (exactly as the
+    /// reference M-step's prior initialisation leaves them).
+    pub(crate) fn export_phi(
+        &self,
+        n_diseases: usize,
+        prior: Option<(&[PhiRow], f64)>,
+    ) -> Vec<PhiRow> {
+        let nm = self.n_m_local();
+        let counts = &self.counts[self.cur];
+        let totals = &self.totals[self.cur];
+        let mut phi: Vec<PhiRow> = (0..n_diseases).map(|_| PhiRow::empty()).collect();
+        for d in 0..self.n_d_local() {
+            let row = &mut phi[self.d_local_to_global[d] as usize];
+            row.total = totals[d];
+            for m in 0..nm {
+                let c = counts[d * nm + m];
+                if c > 0.0 {
+                    row.counts.insert(self.m_local_to_global[m], c);
+                }
+            }
+            if self.has_prior {
+                for &(m, c) in &self.oov[self.oov_off[d] as usize..self.oov_off[d + 1] as usize] {
+                    if c > 0.0 {
+                        row.counts.insert(m, c);
+                    }
+                }
+            }
+        }
+        if let Some((prev, weight)) = prior {
+            // Diseases with prior mass but no appearance this month keep the
+            // scaled previous-month row.
+            for (g, row) in prev.iter().enumerate() {
+                if self.d_global_to_local[g] == ABSENT && !row.counts.is_empty() {
+                    let out = &mut phi[g];
+                    out.total = row.total * weight;
+                    for (&m, &c) in &row.counts {
+                        out.counts.insert(m, c * weight);
+                    }
+                }
+            }
+        }
+        phi
+    }
+}

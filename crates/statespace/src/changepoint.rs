@@ -331,6 +331,81 @@ pub fn exact_change_point_with(
     r
 }
 
+/// [`exact_change_point`] with candidate-level parallelism: the `O(T)`
+/// candidate models are independent fits, so they fan out over `threads`
+/// workers (one [`FilterWorkspace`] each, claimed off an atomic work
+/// queue). Each candidate's fit is deterministic, and the winner is chosen
+/// by a serial scan in candidate order with the same `≤` tie-breaking as
+/// Algorithm 1, so the result is **bit-identical** to the serial search at
+/// any thread count. With `threads <= 1` this *is* the serial search.
+pub fn exact_change_point_par(
+    ys: &[f64],
+    seasonal: bool,
+    opts: &FitOptions,
+    threads: usize,
+) -> ChangePointSearch {
+    exact_change_point_par_with(ys, seasonal, opts, SelectionCriterion::Aic, threads)
+}
+
+/// [`exact_change_point_par`] under an explicit selection criterion.
+pub fn exact_change_point_par_with(
+    ys: &[f64],
+    seasonal: bool,
+    opts: &FitOptions,
+    criterion: SelectionCriterion,
+    threads: usize,
+) -> ChangePointSearch {
+    if threads <= 1 {
+        return exact_change_point_with(ys, seasonal, opts, criterion);
+    }
+    let _span = mic_obs::span("kf.search.exact");
+    mic_obs::counter("kf.searches_exact", 1);
+    mic_obs::counter("kf.searches_exact_par", 1);
+    let n = ys.len();
+    let mut ctx = SearchContext::new(ys, seasonal, opts, criterion);
+    if ctx.too_short() {
+        return ctx.short_series_finish();
+    }
+    let lead = ctx.lead_skip();
+    let state_dim = ctx.spec_at(1).state_dim();
+    let cands: Vec<usize> = candidates(n).collect();
+    let fits = mic_par::parallel_map_with(
+        &cands,
+        threads,
+        || FilterWorkspace::new(state_dim),
+        |ws, &cp| {
+            let spec = if seasonal {
+                StructuralSpec::full(cp)
+            } else {
+                StructuralSpec::with_intervention(cp)
+            };
+            if cp >= lead {
+                fit_structural_with_skip_ws(ys, spec, opts, lead, &[cp], ws)
+            } else {
+                fit_structural_with_skip_ws(ys, spec, opts, lead + 1, &[], ws)
+            }
+        },
+    );
+    // Serial selection in candidate order with Algorithm 1's `≤` (later
+    // candidates win ties) — deterministic regardless of fit completion
+    // order above.
+    let mut best_cp = cands[0];
+    let mut best_aic = f64::INFINITY;
+    for (&cp, fit) in cands.iter().zip(&fits) {
+        let score = criterion.score(fit);
+        if score <= best_aic {
+            best_aic = score;
+            best_cp = cp;
+        }
+    }
+    ctx.fits = fits.len();
+    ctx.cache.extend(cands.iter().copied().zip(fits));
+    let r = ctx.finish(best_cp, best_aic);
+    mic_obs::counter("kf.candidates_exact", r.aic_by_candidate.len() as u64);
+    mic_obs::counter("kf.fits_exact", r.fits_performed as u64);
+    r
+}
+
 /// Algorithm 2: AIC-guided binary search. Exploits the empirical
 /// unimodality of AIC around the true change point (Fig. 5) to probe only
 /// `O(log T)` candidates.
@@ -614,6 +689,96 @@ mod tests {
         let r = exact_change_point(&ys, false, &fast_opts());
         assert!(r.fits_performed > 0);
         assert!(r.aic.is_finite());
+    }
+
+    /// Every observable field of the search result must be *bit*-identical
+    /// between the serial and candidate-parallel paths — the parallel mode
+    /// only reorders who fits which candidate, never what is fitted or how
+    /// the winner is selected.
+    fn assert_searches_identical(a: &ChangePointSearch, b: &ChangePointSearch, what: &str) {
+        assert_eq!(a.change_point, b.change_point, "{what}: change point");
+        assert_eq!(a.aic.to_bits(), b.aic.to_bits(), "{what}: aic");
+        assert_eq!(
+            a.aic_no_change.to_bits(),
+            b.aic_no_change.to_bits(),
+            "{what}: aic_no_change"
+        );
+        assert_eq!(a.fits_performed, b.fits_performed, "{what}: fits");
+        assert_eq!(
+            a.aic_by_candidate.len(),
+            b.aic_by_candidate.len(),
+            "{what}: candidate map size"
+        );
+        for (cp, aic) in &a.aic_by_candidate {
+            let other = b.aic_by_candidate[cp];
+            assert_eq!(aic.to_bits(), other.to_bits(), "{what}: candidate {cp}");
+        }
+        assert_eq!(
+            a.fit.loglik.to_bits(),
+            b.fit.loglik.to_bits(),
+            "{what}: fit loglik"
+        );
+        assert_eq!(a.fit.aic.to_bits(), b.fit.aic.to_bits(), "{what}: fit aic");
+        assert_eq!(a.fit.bic.to_bits(), b.fit.bic.to_bits(), "{what}: fit bic");
+        assert_eq!(a.fit.skip, b.fit.skip, "{what}: fit skip");
+        for (pa, pb) in [
+            (a.fit.params.var_eps, b.fit.params.var_eps),
+            (a.fit.params.var_level, b.fit.params.var_level),
+            (a.fit.params.var_seasonal, b.fit.params.var_seasonal),
+        ] {
+            assert_eq!(pa.to_bits(), pb.to_bits(), "{what}: fit params");
+        }
+    }
+
+    #[test]
+    fn candidate_parallel_matches_serial_on_planted_break() {
+        let ys = slope_break_series(43, 25, 1.5, 11);
+        let serial = exact_change_point(&ys, false, &fast_opts());
+        for threads in [2usize, 4, 8] {
+            let par = exact_change_point_par(&ys, false, &fast_opts(), threads);
+            assert_searches_identical(&par, &serial, &format!("{threads} threads"));
+        }
+        assert!(serial.change_point.is_some());
+    }
+
+    #[test]
+    fn candidate_parallel_matches_serial_on_flat_and_seasonal_series() {
+        // The flat series exercises the "no change wins" branch (and its AIC
+        // tie-breaking), the seasonal one the lead-skip ≥ 12 candidate split.
+        let flat = flat_series(43, 12);
+        let mut rng = SmallRng::seed_from_u64(16);
+        let seasonal: Vec<f64> = (0..48)
+            .map(|t| {
+                let s = 5.0 * ((t % 12) as f64 / 12.0 * std::f64::consts::TAU).sin();
+                let w = if t >= 30 { (t - 30 + 1) as f64 } else { 0.0 };
+                30.0 + s + 1.2 * w + mic_stats::dist::sample_normal(&mut rng, 0.0, 0.7)
+            })
+            .collect();
+        for (ys, is_seasonal, what) in [(&flat, false, "flat"), (&seasonal, true, "seasonal")] {
+            let serial = exact_change_point(ys, is_seasonal, &fast_opts());
+            let par = exact_change_point_par(ys, is_seasonal, &fast_opts(), 4);
+            assert_searches_identical(&par, &serial, what);
+        }
+    }
+
+    #[test]
+    fn candidate_parallel_matches_serial_under_bic() {
+        let ys = slope_break_series(43, 25, 1.5, 11);
+        let serial = exact_change_point_with(&ys, false, &fast_opts(), SelectionCriterion::Bic);
+        let par = exact_change_point_par_with(&ys, false, &fast_opts(), SelectionCriterion::Bic, 3);
+        assert_searches_identical(&par, &serial, "bic");
+    }
+
+    #[test]
+    fn candidate_parallel_degrades_cleanly_on_short_series() {
+        for n in 0..=4usize {
+            let ys: Vec<f64> = (0..n).map(|t| t as f64).collect();
+            for seasonal in [false, true] {
+                let serial = exact_change_point(&ys, seasonal, &fast_opts());
+                let par = exact_change_point_par(&ys, seasonal, &fast_opts(), 4);
+                assert_searches_identical(&par, &serial, &format!("n={n} seasonal={seasonal}"));
+            }
+        }
     }
 
     #[test]

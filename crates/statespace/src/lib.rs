@@ -66,8 +66,9 @@ pub use arima::{
     fit_arima, fit_sarima, select_arima, ArimaFit, ArimaOrder, SarimaFit, SarimaOrder,
 };
 pub use changepoint::{
-    approx_change_point, approx_change_point_with, exact_change_point, exact_change_point_with,
-    ChangePoint, ChangePointSearch, SelectionCriterion,
+    approx_change_point, approx_change_point_with, exact_change_point, exact_change_point_par,
+    exact_change_point_par_with, exact_change_point_with, ChangePoint, ChangePointSearch,
+    SelectionCriterion,
 };
 pub use diagnostics::{diagnose_residuals, ResidualDiagnostics};
 pub use estimate::{fit_structural, FitOptions, FittedStructural};

@@ -1,9 +1,12 @@
 #!/usr/bin/env bash
-# Capture an instrumentation-overhead baseline: run the `obs` bench group
-# (recorder entry points and the instrumented Kalman likelihood hot path,
-# disabled vs enabled) and store BENCH_obs.json for later comparison.
+# Capture performance baselines:
+#  - the `obs` bench group (recorder entry points and the instrumented
+#    Kalman likelihood hot path, disabled vs enabled) -> BENCH_obs.json
+#  - the `em` bench group (HashMap reference vs EmWorkspace engine at fixed
+#    iteration count, plus Stage-1 panel wall time at 1 vs 4 threads)
+#    -> BENCH_em.json
 #
-#   ./scripts/bench_snapshot.sh                # -> results/bench/BENCH_obs.json
+#   ./scripts/bench_snapshot.sh                # -> results/bench/BENCH_*.json
 #   BENCH_JSON_DIR=/tmp ./scripts/bench_snapshot.sh
 set -euo pipefail
 cd "$(dirname "$0")/.."
@@ -13,4 +16,6 @@ mkdir -p "$out"
 
 echo "==> obs overhead bench (JSON -> $out)"
 BENCH_JSON_DIR="$out" cargo bench -p mic-bench --bench obs
-ls -l "$out"/BENCH_obs.json
+echo "==> em engine bench (JSON -> $out)"
+BENCH_JSON_DIR="$out" cargo bench -p mic-bench --bench em
+ls -l "$out"/BENCH_obs.json "$out"/BENCH_em.json

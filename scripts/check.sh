@@ -32,6 +32,13 @@ for key in em.iterations em.cost_unit_ns kf.loglik_evals kf.cost_unit_ns \
         || { echo "metrics smoke gate: missing $key in snapshot"; exit 1; }
 done
 
+echo "==> allocation-free EM gate (em.resp_buffer_allocs == 0)"
+# The workspace engine must never allocate responsibility buffers inside
+# em_step; any non-zero count means the hot path regressed to per-record
+# allocation.
+grep -q '"type":"counter","name":"em.resp_buffer_allocs","value":0' "$tmp/metrics.jsonl" \
+    || { echo "allocation-free EM gate: em.resp_buffer_allocs != 0 (or missing)"; exit 1; }
+
 if [[ "${RUN_BENCHES:-0}" == "1" ]]; then
     echo "==> criterion benches (JSON -> results/bench/)"
     mkdir -p results/bench
