@@ -41,6 +41,7 @@
 //! ```
 
 pub mod catalog;
+pub mod error;
 pub mod filter;
 pub mod ids;
 pub mod query;
@@ -55,6 +56,7 @@ pub use catalog::{
     City, Disease, DiseaseKind, Hospital, HospitalClass, Indication, MarketEvent, Medicine,
     MedicineClass,
 };
+pub use error::ClaimsError;
 pub use filter::{FilteredVocabulary, FrequencyFilter};
 pub use ids::{CityId, DiseaseId, HospitalId, MedicineId, Month, PatientId, YearMonth};
 pub use query::DatasetIndex;

@@ -9,6 +9,7 @@
 //! medicine in [`MicRecord::truth_links`], which evaluation code may consult
 //! but model-fitting code must not.
 
+use crate::error::ClaimsError;
 use crate::ids::{DiseaseId, HospitalId, MedicineId, Month, PatientId, YearMonth};
 
 /// One medical insurance claim record: one patient × one institution × one
@@ -57,31 +58,30 @@ impl MicRecord {
     /// True when the record is structurally consistent: non-empty disease
     /// bag whenever medicines exist, positive counts, aligned truth links
     /// that reference diseases present in the bag.
-    pub fn validate(&self) -> Result<(), String> {
+    pub fn validate(&self) -> Result<(), ClaimsError> {
         if self.truth_links.len() != self.medicines.len() {
-            return Err(format!(
-                "truth_links length {} != medicines length {}",
-                self.truth_links.len(),
-                self.medicines.len()
-            ));
+            return Err(ClaimsError::TruthLinkLength {
+                links: self.truth_links.len(),
+                medicines: self.medicines.len(),
+            });
         }
         if !self.medicines.is_empty() && self.diseases.is_empty() {
-            return Err("medicines present but no diseases".into());
+            return Err(ClaimsError::MedicinesWithoutDiseases);
         }
         for &(d, n) in &self.diseases {
             if n == 0 {
-                return Err(format!("disease {d} has zero count"));
+                return Err(ClaimsError::ZeroDiseaseCount { disease: d });
             }
         }
         let mut seen = std::collections::HashSet::new();
         for &(d, _) in &self.diseases {
             if !seen.insert(d) {
-                return Err(format!("disease {d} appears twice in the bag"));
+                return Err(ClaimsError::DuplicateDisease { disease: d });
             }
         }
         for &link in &self.truth_links {
             if self.disease_count(link) == 0 {
-                return Err(format!("truth link to {link} not in disease bag"));
+                return Err(ClaimsError::ForeignTruthLink { disease: link });
             }
         }
         Ok(())
@@ -159,14 +159,69 @@ impl ClaimsDataset {
     }
 
     /// Validate every record; returns the first error found.
-    pub fn validate(&self) -> Result<(), String> {
+    pub fn validate(&self) -> Result<(), ClaimsError> {
         for (i, month) in self.months.iter().enumerate() {
             if month.month.index() != i {
-                return Err(format!("month {i} labelled {}", month.month));
+                return Err(ClaimsError::MonthLabel {
+                    index: i,
+                    label: month.month,
+                });
             }
-            for (j, r) in month.records.iter().enumerate() {
-                r.validate()
-                    .map_err(|e| format!("month {i} record {j}: {e}"))?;
+            Self::validate_month(month, i, self.n_diseases, self.n_medicines)?;
+        }
+        Ok(())
+    }
+
+    /// Append one month to the observation window.
+    ///
+    /// The month must carry the next sequential label (`months.len()`), its
+    /// records must validate, and every disease/medicine id must fit the
+    /// dataset's catalogue sizes — the incremental analysis path addresses
+    /// dense arrays by id, so a foreign id would corrupt the panel rather
+    /// than panic. On error the dataset is left unchanged.
+    pub fn append_month(&mut self, month: MonthlyDataset) -> Result<(), ClaimsError> {
+        let index = self.months.len();
+        if month.month.index() != index {
+            return Err(ClaimsError::MonthLabel {
+                index,
+                label: month.month,
+            });
+        }
+        Self::validate_month(&month, index, self.n_diseases, self.n_medicines)?;
+        self.months.push(month);
+        Ok(())
+    }
+
+    fn validate_month(
+        month: &MonthlyDataset,
+        index: usize,
+        n_diseases: usize,
+        n_medicines: usize,
+    ) -> Result<(), ClaimsError> {
+        for (j, r) in month.records.iter().enumerate() {
+            let locate = |e: ClaimsError| ClaimsError::Record {
+                month: index,
+                record: j,
+                source: Box::new(e),
+            };
+            r.validate().map_err(locate)?;
+            for &(d, _) in &r.diseases {
+                if d.index() >= n_diseases {
+                    return Err(locate(ClaimsError::IdOutOfRange {
+                        what: "disease",
+                        id: d.0,
+                        limit: n_diseases,
+                    }));
+                }
+            }
+            for &m in &r.medicines {
+                if m.index() >= n_medicines {
+                    return Err(locate(ClaimsError::IdOutOfRange {
+                        what: "medicine",
+                        id: m.0,
+                        limit: n_medicines,
+                    }));
+                }
             }
         }
         Ok(())
@@ -211,28 +266,36 @@ mod tests {
     fn validation_catches_misaligned_truth() {
         let mut r = sample_record();
         r.truth_links.pop();
-        assert!(r.validate().unwrap_err().contains("length"));
+        let err = r.validate().unwrap_err();
+        assert!(matches!(err, ClaimsError::TruthLinkLength { .. }));
+        assert!(err.to_string().contains("length"));
     }
 
     #[test]
     fn validation_catches_foreign_truth_link() {
         let mut r = sample_record();
         r.truth_links[0] = DiseaseId(99);
-        assert!(r.validate().unwrap_err().contains("not in disease bag"));
+        let err = r.validate().unwrap_err();
+        assert!(matches!(err, ClaimsError::ForeignTruthLink { .. }));
+        assert!(err.to_string().contains("not in disease bag"));
     }
 
     #[test]
     fn validation_catches_duplicate_disease() {
         let mut r = sample_record();
         r.diseases.push((DiseaseId(0), 1));
-        assert!(r.validate().unwrap_err().contains("twice"));
+        let err = r.validate().unwrap_err();
+        assert!(matches!(err, ClaimsError::DuplicateDisease { .. }));
+        assert!(err.to_string().contains("twice"));
     }
 
     #[test]
     fn validation_catches_zero_count() {
         let mut r = sample_record();
         r.diseases[0].1 = 0;
-        assert!(r.validate().unwrap_err().contains("zero count"));
+        let err = r.validate().unwrap_err();
+        assert!(matches!(err, ClaimsError::ZeroDiseaseCount { .. }));
+        assert!(err.to_string().contains("zero count"));
     }
 
     #[test]
@@ -285,6 +348,87 @@ mod tests {
             n_diseases: 1,
             n_medicines: 1,
         };
-        assert!(ds.validate().is_err());
+        assert!(matches!(
+            ds.validate().unwrap_err(),
+            ClaimsError::MonthLabel { index: 0, .. }
+        ));
+    }
+
+    fn empty_dataset() -> ClaimsDataset {
+        ClaimsDataset {
+            start: YearMonth::paper_start(),
+            months: vec![],
+            n_diseases: 5,
+            n_medicines: 10,
+        }
+    }
+
+    #[test]
+    fn append_month_grows_window_in_order() {
+        let mut ds = empty_dataset();
+        for t in 0..3 {
+            ds.append_month(MonthlyDataset {
+                month: Month(t),
+                records: vec![sample_record()],
+            })
+            .unwrap();
+        }
+        assert_eq!(ds.horizon(), 3);
+        assert!(ds.validate().is_ok());
+    }
+
+    #[test]
+    fn append_month_rejects_wrong_label() {
+        let mut ds = empty_dataset();
+        let err = ds
+            .append_month(MonthlyDataset {
+                month: Month(2),
+                records: vec![],
+            })
+            .unwrap_err();
+        assert!(matches!(err, ClaimsError::MonthLabel { index: 0, .. }));
+        assert_eq!(
+            ds.horizon(),
+            0,
+            "failed append must leave the window unchanged"
+        );
+    }
+
+    #[test]
+    fn append_month_rejects_out_of_range_ids() {
+        let mut ds = empty_dataset();
+        let mut bad = sample_record();
+        bad.medicines.push(MedicineId(10));
+        bad.truth_links.push(DiseaseId(0));
+        let err = ds
+            .append_month(MonthlyDataset {
+                month: Month(0),
+                records: vec![bad],
+            })
+            .unwrap_err();
+        assert!(err.to_string().contains("medicine id 10 out of range"));
+        assert!(std::error::Error::source(&err).is_some());
+        assert_eq!(ds.horizon(), 0);
+    }
+
+    #[test]
+    fn append_month_rejects_invalid_record() {
+        let mut ds = empty_dataset();
+        let mut bad = sample_record();
+        bad.truth_links.pop();
+        let err = ds
+            .append_month(MonthlyDataset {
+                month: Month(0),
+                records: vec![bad],
+            })
+            .unwrap_err();
+        assert!(matches!(
+            err,
+            ClaimsError::Record {
+                month: 0,
+                record: 0,
+                ..
+            }
+        ));
     }
 }

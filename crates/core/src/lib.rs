@@ -12,6 +12,9 @@
 //! - [`hospital`] — inter-hospital prescription gap analysis (Table II):
 //!   per-hospital-class models ranking the diseases a medicine is
 //!   prescribed for;
+//! - [`session`] — the incremental [`AnalysisSession`]: explicit
+//!   [`Stage1Reproduce`] / [`Stage2Detect`] stages, month-by-month appends
+//!   with warm-started EM, and a content-hashed cache of Stage-2 fits;
 //! - [`parallel`] — a small scoped-thread work-stealing map used to fit the
 //!   hundreds of thousands of series the paper processes;
 //! - [`report`] — fixed-width table and CSV rendering of results.
@@ -24,9 +27,11 @@ pub mod outbreak;
 pub mod parallel;
 pub mod pipeline;
 pub mod report;
+pub mod session;
 
 pub use classify::{classify_change, ChangeCause};
 pub use event_study::{event_study, EventStudy};
 pub use outbreak::{detect_outbreaks, OutbreakAlert, OutbreakConfig};
 pub use parallel::parallel_map;
 pub use pipeline::{PipelineConfig, SeriesReport, TrendPipeline, TrendReport};
+pub use session::{AnalysisSession, FitCache, Stage1Reproduce, Stage2Detect};

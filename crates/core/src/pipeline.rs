@@ -6,17 +6,12 @@
 //! survives the total-frequency filter, in parallel, and categorises the
 //! detected changes.
 
-use crate::classify::{classify_change, ChangeCause};
-use crate::parallel::{default_threads, parallel_map, parallel_map_with};
+use crate::classify::ChangeCause;
+use crate::parallel::parallel_map;
+use crate::session::{AnalysisSession, Stage1Reproduce, Stage2Detect};
 use mic_claims::{ClaimsDataset, FrequencyFilter};
-use mic_linkmodel::{
-    EmOptions, EmWorkspace, MedicationModel, PanelBuilder, PrescriptionPanel, SeriesKey,
-};
-use mic_statespace::{
-    approx_change_point, exact_change_point, exact_change_point_par, ChangePoint,
-    ChangePointSearch, FitOptions,
-};
-use std::collections::HashMap;
+use mic_linkmodel::{EmOptions, PanelBuilder, PrescriptionPanel, SeriesKey};
+use mic_statespace::{ChangePoint, FitOptions};
 
 /// Pipeline configuration.
 #[derive(Clone, Debug)]
@@ -45,6 +40,12 @@ pub struct PipelineConfig {
     /// is small (few, very long series); combining a large `threads` with
     /// `search_threads > 1` oversubscribes the machine.
     pub search_threads: usize,
+    /// Temporal-prior weight chaining consecutive months' medication
+    /// models (Section IV-C): each month's EM fit is refined with the
+    /// previous month's `Φ` as a prior of this strength. 0 (the default)
+    /// keeps months independent — the batch pipeline's historical
+    /// behaviour; incremental sessions typically use 0.1–0.5.
+    pub continuity: f64,
 }
 
 impl Default for PipelineConfig {
@@ -59,6 +60,7 @@ impl Default for PipelineConfig {
             threads: 0,
             stage1_threads: 0,
             search_threads: 0,
+            continuity: 0.0,
         }
     }
 }
@@ -173,31 +175,16 @@ impl TrendPipeline {
     /// in-month-order, so the result is identical at any thread count.
     pub fn reproduce_panel(&self, ds: &ClaimsDataset) -> PrescriptionPanel {
         let _span = mic_obs::span("pipeline.stage1");
-        let threads = if self.config.stage1_threads == 0 {
-            default_threads()
-        } else {
-            self.config.stage1_threads
-        };
-        let fitted = parallel_map_with(&ds.months, threads, EmWorkspace::new, |ws, month| {
-            let (filtered, vocab) =
-                self.config
-                    .frequency_filter
-                    .filter_month(month, ds.n_diseases, ds.n_medicines);
-            let model = MedicationModel::fit_with(
-                &filtered,
-                ds.n_diseases,
-                ds.n_medicines,
-                &self.config.em,
-                ws,
-            );
-            mic_obs::counter("pipeline.stage1_fits", 1);
-            // Publish this worker's collector so periodic `--progress`
-            // snapshots see Stage-1 work as it completes.
-            mic_obs::flush();
-            (filtered, vocab, model)
-        });
+        let stage1 = Stage1Reproduce::from_config(&self.config);
+        let fitted = stage1.fit_months(&ds.months, ds.n_diseases, ds.n_medicines);
         let mut builder = PanelBuilder::new(ds.n_diseases, ds.n_medicines, ds.horizon());
-        for (month, (filtered, vocab, model)) in ds.months.iter().zip(&fitted) {
+        let mut ws = mic_linkmodel::EmWorkspace::new();
+        let mut prev: Option<mic_linkmodel::MedicationModel> = None;
+        for (month, (filtered, vocab, mut model)) in ds.months.iter().zip(fitted) {
+            // Sequential continuity refinement (no-op at the default 0.0).
+            if let Some(p) = &prev {
+                model.refine_next(&filtered, p, stage1.continuity, &stage1.em, &mut ws);
+            }
             // The frequency filter's silent drops, made visible: entities
             // below the per-month threshold and the records they emptied.
             mic_obs::counter(
@@ -212,7 +199,8 @@ impl TrendPipeline {
                 "pipeline.records_dropped",
                 (month.records.len() - filtered.records.len()) as u64,
             );
-            builder.add_month(filtered, model);
+            builder.add_month(&filtered, &model);
+            prev = Some(model);
         }
         builder.build()
     }
@@ -226,109 +214,44 @@ impl TrendPipeline {
             "pipeline.series_dropped",
             (panel.n_series() - keys.len()) as u64,
         );
-        let threads = if self.config.threads == 0 {
-            default_threads()
-        } else {
-            self.config.threads
-        };
-        parallel_map(&keys, threads, |&key| {
-            let ys = panel.series(key).expect("filtered key must have a series");
-            let report = self.analyze_series(key, ys);
+        let stage2 = Stage2Detect::from_config(&self.config);
+        let reports = parallel_map(&keys, stage2.worker_threads(), |&key| {
+            let Some(ys) = panel.series(key) else {
+                // A filtered key without a backing series is a panel
+                // inconsistency; skip and count it rather than abort the
+                // whole fleet.
+                mic_obs::counter("pipeline.key_mismatch", 1);
+                mic_obs::flush();
+                return None;
+            };
+            let report = stage2.analyze_series(key, ys);
             mic_obs::counter("pipeline.fits", report.fits_performed as u64);
             mic_obs::value("pipeline.fits_per_series", report.fits_performed as f64);
             // Publish this worker's collector so periodic `--progress`
             // snapshots see work as it completes, not only at join.
             mic_obs::flush();
-            report
-        })
+            Some(report)
+        });
+        reports.into_iter().flatten().collect()
     }
 
     /// Change-point analysis of one series.
     pub fn analyze_series(&self, key: SeriesKey, ys: &[f64]) -> SeriesReport {
-        let search = self.search(ys);
-        let lambda = if search.change_point.is_some() {
-            search.fit.decompose(ys).lambda
-        } else {
-            0.0
-        };
-        SeriesReport {
-            key,
-            change_point: search.change_point,
-            aic: search.aic,
-            aic_no_change: search.aic_no_change,
-            lambda,
-            fits_performed: search.fits_performed,
-        }
-    }
-
-    fn search(&self, ys: &[f64]) -> ChangePointSearch {
-        if self.config.approximate_search {
-            approx_change_point(ys, self.config.seasonal, &self.config.fit)
-        } else if self.config.search_threads > 1 {
-            exact_change_point_par(
-                ys,
-                self.config.seasonal,
-                &self.config.fit,
-                self.config.search_threads,
-            )
-        } else {
-            exact_change_point(ys, self.config.seasonal, &self.config.fit)
-        }
+        Stage2Detect::from_config(&self.config).analyze_series(key, ys)
     }
 
     /// Run the full pipeline: reproduce, detect, categorise.
+    ///
+    /// Equivalent to feeding every month into a fresh [`AnalysisSession`]
+    /// and analysing once — which is exactly how it is implemented.
     pub fn run(&self, ds: &ClaimsDataset) -> TrendReport {
         let _span = mic_obs::span("pipeline.total");
-        let panel = self.reproduce_panel(ds);
-        let series = self.detect_changes(&panel);
-        let classify_span = mic_obs::span("pipeline.classify");
-        // Index change points for categorisation, and group broken pairs by
-        // medicine for the sibling-support rule.
-        let mut by_key: HashMap<SeriesKey, &SeriesReport> = HashMap::new();
-        let mut broken_pairs_by_medicine: HashMap<u32, Vec<(u32, usize)>> = HashMap::new();
-        for r in &series {
-            by_key.insert(r.key, r);
-            if let (SeriesKey::Prescription(d, m), ChangePoint::At(t)) = (r.key, r.change_point) {
-                broken_pairs_by_medicine
-                    .entry(m.0)
-                    .or_default()
-                    .push((d.0, t));
-            }
-        }
-        let mut causes = Vec::new();
-        for r in &series {
-            if let (SeriesKey::Prescription(d, m), ChangePoint::At(t)) = (r.key, r.change_point) {
-                let disease_cp = by_key
-                    .get(&SeriesKey::Disease(d))
-                    .and_then(|r| r.change_point.month());
-                let medicine_cp = by_key
-                    .get(&SeriesKey::Medicine(m))
-                    .and_then(|r| r.change_point.month());
-                let siblings = broken_pairs_by_medicine
-                    .get(&m.0)
-                    .map(|pairs| {
-                        pairs
-                            .iter()
-                            .filter(|&&(dd, tt)| {
-                                dd != d.0
-                                    && (tt as i64 - t as i64).abs() <= crate::classify::MATCH_WINDOW
-                            })
-                            .count()
-                    })
-                    .unwrap_or(0);
-                causes.push((r.key, classify_change(t, disease_cp, medicine_cp, siblings)));
-            }
-        }
-        classify_span.end();
-        let series_total = panel.n_series();
-        let series_dropped = series_total - series.len();
-        TrendReport {
-            panel,
-            series,
-            causes,
-            series_total,
-            series_dropped,
-        }
+        let mut session =
+            AnalysisSession::new(&self.config, ds.start, ds.n_diseases, ds.n_medicines);
+        session
+            .append_months(&ds.months)
+            .expect("dataset months must be sequentially labelled");
+        session.analyze()
     }
 }
 

@@ -217,6 +217,58 @@ impl MedicationModel {
         out
     }
 
+    /// Fit one month as the *next element* of a tracked sequence: an
+    /// independent fit exactly like [`MedicationModel::fit_with`], then —
+    /// when `continuity > 0` and a previous model exists — the same
+    /// temporal-prior refine pass [`MedicationModel::fit_tracked`] runs, with
+    /// `prev`'s `Φ` as the prior. Chaining `fit_next` month by month is
+    /// element-wise identical to one `fit_tracked` call over the whole
+    /// window, which is what makes an incremental analysis session
+    /// equivalent to the batch pipeline by construction.
+    pub fn fit_next(
+        month: &MonthlyDataset,
+        prev: Option<&MedicationModel>,
+        n_diseases: usize,
+        n_medicines: usize,
+        opts: &EmOptions,
+        continuity: f64,
+        ws: &mut EmWorkspace,
+    ) -> MedicationModel {
+        assert!(
+            (0.0..1.0).contains(&continuity),
+            "continuity must be in [0, 1)"
+        );
+        let mut model = MedicationModel::fit_with(month, n_diseases, n_medicines, opts, ws);
+        if let Some(prev) = prev {
+            model.refine_next(month, prev, continuity, opts, ws);
+        }
+        model
+    }
+
+    /// Apply the tracked fit's temporal-prior refine pass to an
+    /// independently fitted model: resume EM from this model's `Φ` with
+    /// `prev`'s `Φ` as a pseudo-count prior of weight `continuity`. A no-op
+    /// when `continuity` is zero. This is the serial half of
+    /// [`MedicationModel::fit_tracked_threaded`], exposed so callers that
+    /// already hold the parallel independent fits (an incremental analysis
+    /// session batch-loading months) can chain the refinement themselves.
+    pub fn refine_next(
+        &mut self,
+        month: &MonthlyDataset,
+        prev: &MedicationModel,
+        continuity: f64,
+        opts: &EmOptions,
+        ws: &mut EmWorkspace,
+    ) {
+        assert!(
+            (0.0..1.0).contains(&continuity),
+            "continuity must be in [0, 1)"
+        );
+        if continuity > 0.0 {
+            self.refine_with(month, &prev.phi, continuity, opts, ws);
+        }
+    }
+
     /// The tracked fit's refine pass for one month: resume EM from this
     /// model's `Φ` under the previous month's temporal prior.
     fn refine_with(
@@ -715,6 +767,53 @@ mod tests {
                     .map(|m| model.phi_prob(DiseaseId(d), MedicineId(m)))
                     .sum();
                 assert!((total - 1.0).abs() < 1e-9);
+            }
+        }
+    }
+
+    #[test]
+    fn fit_next_chain_matches_fit_tracked() {
+        let mut months = Vec::new();
+        for t in 0..4u32 {
+            let mut records = Vec::new();
+            for i in 0..12 {
+                records.push(record(
+                    vec![((i + t) % 3, 1 + i % 2), ((i + 1) % 3, 1)],
+                    vec![i % 4, (i * 2 + t) % 4],
+                ));
+            }
+            months.push(MonthlyDataset {
+                month: Month(t),
+                records,
+            });
+        }
+        let opts = EmOptions::default();
+        for continuity in [0.0, 0.4] {
+            let tracked = MedicationModel::fit_tracked(&months, 3, 4, &opts, continuity);
+            let mut ws = EmWorkspace::new();
+            let mut chained: Vec<MedicationModel> = Vec::new();
+            for month in &months {
+                let next = MedicationModel::fit_next(
+                    month,
+                    chained.last(),
+                    3,
+                    4,
+                    &opts,
+                    continuity,
+                    &mut ws,
+                );
+                chained.push(next);
+            }
+            for (a, b) in tracked.iter().zip(&chained) {
+                assert_eq!(a.log_likelihood.to_bits(), b.log_likelihood.to_bits());
+                assert_eq!(a.iterations, b.iterations);
+                for d in 0..3 {
+                    for m in 0..4 {
+                        let pa = a.phi_prob(DiseaseId(d), MedicineId(m));
+                        let pb = b.phi_prob(DiseaseId(d), MedicineId(m));
+                        assert_eq!(pa.to_bits(), pb.to_bits(), "phi[{d}][{m}] diverged");
+                    }
+                }
             }
         }
     }

@@ -134,6 +134,44 @@ impl PrescriptionPanel {
         keys
     }
 
+    /// Extend the panel by one month: grow every series by one point and
+    /// accumulate month `t`'s reproduced counts (Eq. 7) into the new column.
+    /// The month must be the next one after the current horizon.
+    ///
+    /// Because only month `t`'s records ever touch column `t`, a panel grown
+    /// month-by-month is bit-identical to one built in a single
+    /// [`PanelBuilder`] pass over the same fitted models — the property the
+    /// incremental-vs-batch equivalence tests pin down.
+    pub fn extend_with(&mut self, month: &MonthlyDataset, model: &MedicationModel) {
+        let t = month.month.index();
+        assert_eq!(
+            t, self.horizon,
+            "month {t} is not the next month (horizon {})",
+            self.horizon
+        );
+        self.horizon += 1;
+        for series in self.diseases.iter_mut().chain(self.medicines.iter_mut()) {
+            series.push(0.0);
+        }
+        for series in self.prescriptions.values_mut() {
+            series.push(0.0);
+        }
+        for r in &month.records {
+            for &m in &r.medicines {
+                for (d, q) in model.responsibilities(&r.diseases, m) {
+                    if q <= 0.0 {
+                        continue;
+                    }
+                    self.prescriptions
+                        .entry((d.0, m.0))
+                        .or_insert_with(|| vec![0.0; t + 1])[t] += q;
+                    self.diseases[d.index()][t] += q;
+                    self.medicines[m.index()][t] += q;
+                }
+            }
+        }
+    }
+
     /// Top `n` diseases by total mass, descending — the "100 most frequent
     /// diseases" of the relevance evaluation.
     pub fn top_diseases(&self, n: usize) -> Vec<DiseaseId> {
@@ -349,6 +387,53 @@ mod tests {
         let top = panel.top_diseases(2);
         assert_eq!(top[0], DiseaseId(1));
         assert_eq!(top[1], DiseaseId(0));
+    }
+
+    #[test]
+    fn extend_with_matches_batch_build() {
+        let months = [
+            month(
+                0,
+                vec![
+                    record(vec![(0, 1), (1, 2)], vec![0, 1]),
+                    record(vec![(1, 1)], vec![1]),
+                ],
+            ),
+            month(1, vec![record(vec![(0, 2)], vec![0, 0, 1])]),
+            month(2, vec![record(vec![(2, 1), (0, 1)], vec![1, 1])]),
+        ];
+        let models: Vec<MedicationModel> = months
+            .iter()
+            .map(|m| MedicationModel::fit(m, 3, 2, &EmOptions::default()))
+            .collect();
+        let mut builder = PanelBuilder::new(3, 2, months.len());
+        for (m, model) in months.iter().zip(&models) {
+            builder.add_month(m, model);
+        }
+        let batch = builder.build();
+        let mut grown = PrescriptionPanel::empty(3, 2, 0);
+        for (m, model) in months.iter().zip(&models) {
+            grown.extend_with(m, model);
+        }
+        assert_eq!(grown.horizon(), batch.horizon());
+        assert_eq!(grown.n_prescription_series(), batch.n_prescription_series());
+        for key in batch.filtered_keys(0.0) {
+            let a = batch.series(key).unwrap();
+            let b = grown.series(key).expect("grown panel missing series");
+            assert_eq!(a.len(), b.len());
+            for (x, y) in a.iter().zip(b) {
+                assert_eq!(x.to_bits(), y.to_bits(), "{key} diverged");
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "is not the next month")]
+    fn extend_with_rejects_out_of_order_month() {
+        let m = month(1, vec![]);
+        let model = MedicationModel::fit(&m, 1, 1, &EmOptions::default());
+        let mut panel = PrescriptionPanel::empty(1, 1, 0);
+        panel.extend_with(&m, &model);
     }
 
     #[test]

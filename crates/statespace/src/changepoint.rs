@@ -10,7 +10,9 @@
 //! Table VI: **the approximate search produces no false positives**, because
 //! its winning candidate is a member of the exhaustive candidate set.
 
-use crate::estimate::{fit_structural_with_skip_ws, FitOptions, FittedStructural};
+use crate::estimate::{
+    fit_structural_warm_ws, fit_structural_with_skip_ws, FitOptions, FittedStructural,
+};
 use crate::kalman::FilterWorkspace;
 use crate::structural::{StructuralParams, StructuralSpec};
 use std::collections::HashMap;
@@ -67,6 +69,35 @@ impl std::fmt::Display for ChangePoint {
     }
 }
 
+/// Warm-start seeds for a resumable change-point search, taken from a
+/// previous search over a slightly shorter version of the same series.
+/// The baseline (no-intervention) and candidate (intervention) models live
+/// in different parts of the variance landscape — a trending series makes
+/// the baseline absorb the trend into its level variance while the
+/// intervention models push it into `λ` — so each model class is seeded
+/// from its own previous optimum. Seeding both from a single winner
+/// systematically degrades whichever class lost last time and flips
+/// change decisions.
+#[derive(Clone, Copy, Debug)]
+pub struct WarmStart {
+    /// Seed for the no-intervention baseline fit (the previous search's
+    /// baseline optimum).
+    pub baseline: StructuralParams,
+    /// Seed for every candidate intervention fit (the previous search's
+    /// winning fit).
+    pub candidate: StructuralParams,
+}
+
+impl WarmStart {
+    /// Seeds from a finished search: its baseline fit and its winner.
+    pub fn from_search(search: &ChangePointSearch) -> WarmStart {
+        WarmStart {
+            baseline: search.no_change_params,
+            candidate: search.fit.params,
+        }
+    }
+}
+
 /// Result of a change-point search.
 #[derive(Clone, Debug)]
 pub struct ChangePointSearch {
@@ -79,6 +110,10 @@ pub struct ChangePointSearch {
     pub fit: FittedStructural,
     /// AIC of the no-intervention model (the comparison baseline).
     pub aic_no_change: f64,
+    /// Fitted parameters of the no-intervention baseline (zeroes for the
+    /// degenerate short-series result). Kept so resumable searches can seed
+    /// the next baseline fit from here — see [`WarmStart`].
+    pub no_change_params: StructuralParams,
     /// Number of model fits actually performed (Table V's cost unit).
     pub fits_performed: usize,
     /// AIC per evaluated candidate (candidate month → AIC); the exhaustive
@@ -96,6 +131,10 @@ struct SearchContext<'a> {
     seasonal: bool,
     opts: &'a FitOptions,
     criterion: SelectionCriterion,
+    /// When set, every fit in the search is warm-started from the matching
+    /// seed (cached optima from a previous, slightly shorter version of the
+    /// series) instead of the default multi-start simplex.
+    warm: Option<WarmStart>,
     cache: HashMap<usize, FittedStructural>,
     fits: usize,
     ws: FilterWorkspace,
@@ -107,12 +146,14 @@ impl<'a> SearchContext<'a> {
         seasonal: bool,
         opts: &'a FitOptions,
         criterion: SelectionCriterion,
+        warm: Option<WarmStart>,
     ) -> Self {
         let mut ctx = SearchContext {
             ys,
             seasonal,
             opts,
             criterion,
+            warm,
             cache: HashMap::new(),
             fits: 0,
             ws: FilterWorkspace::default(),
@@ -151,6 +192,35 @@ impl<'a> SearchContext<'a> {
         }
     }
 
+    /// One candidate (or baseline) fit, cold or warm-started from `seed`.
+    fn fit_model(
+        &mut self,
+        spec: StructuralSpec,
+        skip: usize,
+        extra_skips: &[usize],
+        seed: Option<StructuralParams>,
+    ) -> FittedStructural {
+        match seed {
+            Some(w) => fit_structural_warm_ws(
+                self.ys,
+                spec,
+                self.opts,
+                skip,
+                extra_skips,
+                &w,
+                &mut self.ws,
+            ),
+            None => fit_structural_with_skip_ws(
+                self.ys,
+                spec,
+                self.opts,
+                skip,
+                extra_skips,
+                &mut self.ws,
+            ),
+        }
+    }
+
     /// Criterion score (AIC or BIC) of the model with change point `cp`
     /// (memoised).
     fn aic_at(&mut self, cp: usize) -> f64 {
@@ -158,24 +228,12 @@ impl<'a> SearchContext<'a> {
             return self.criterion.score(fit);
         }
         let s = self.lead_skip();
+        let spec = self.spec_at(cp);
+        let seed = self.warm.map(|w| w.candidate);
         let fit = if cp >= s {
-            fit_structural_with_skip_ws(
-                self.ys,
-                self.spec_at(cp),
-                self.opts,
-                s,
-                &[cp],
-                &mut self.ws,
-            )
+            self.fit_model(spec, s, &[cp], seed)
         } else {
-            fit_structural_with_skip_ws(
-                self.ys,
-                self.spec_at(cp),
-                self.opts,
-                s + 1,
-                &[],
-                &mut self.ws,
-            )
+            self.fit_model(spec, s + 1, &[], seed)
         };
         self.fits += 1;
         let score = self.criterion.score(&fit);
@@ -186,14 +244,9 @@ impl<'a> SearchContext<'a> {
     fn no_change_fit(&mut self) -> FittedStructural {
         self.fits += 1;
         let s = self.lead_skip();
-        fit_structural_with_skip_ws(
-            self.ys,
-            self.base_spec(),
-            self.opts,
-            s + 1,
-            &[],
-            &mut self.ws,
-        )
+        let spec = self.base_spec();
+        let seed = self.warm.map(|w| w.baseline);
+        self.fit_model(spec, s + 1, &[], seed)
     }
 
     /// `true` when `ys` is too short for any search: the likelihood skips
@@ -227,6 +280,7 @@ impl<'a> SearchContext<'a> {
         ChangePointSearch {
             change_point: ChangePoint::None,
             aic: f64::INFINITY,
+            no_change_params: fit.params,
             fit,
             aic_no_change: f64::INFINITY,
             fits_performed: 0,
@@ -263,6 +317,7 @@ impl<'a> SearchContext<'a> {
                 .map(|(&cp, fit)| (cp, criterion.score(fit)))
                 .collect()
         };
+        let no_change_params = no_change.params;
         // Ties favour no change.
         if best_aic < aic_no_change {
             let fit = self.take_fit(best_cp);
@@ -271,6 +326,7 @@ impl<'a> SearchContext<'a> {
                 aic: best_aic,
                 fit,
                 aic_no_change,
+                no_change_params,
                 fits_performed: self.fits,
                 aic_by_candidate,
             }
@@ -280,6 +336,7 @@ impl<'a> SearchContext<'a> {
                 aic: aic_no_change,
                 fit: no_change,
                 aic_no_change,
+                no_change_params,
                 fits_performed: self.fits,
                 aic_by_candidate,
             }
@@ -308,10 +365,24 @@ pub fn exact_change_point_with(
     opts: &FitOptions,
     criterion: SelectionCriterion,
 ) -> ChangePointSearch {
+    exact_change_point_warm(ys, seasonal, opts, criterion, None)
+}
+
+/// [`exact_change_point_with`] with an optional warm start: when `warm` is
+/// set, every fit seeds Nelder–Mead from the matching [`WarmStart`] field
+/// (see [`fit_structural_warm_ws`]) instead of the default multi-start
+/// simplex. `warm = None` is exactly the cold search.
+pub fn exact_change_point_warm(
+    ys: &[f64],
+    seasonal: bool,
+    opts: &FitOptions,
+    criterion: SelectionCriterion,
+    warm: Option<WarmStart>,
+) -> ChangePointSearch {
     let _span = mic_obs::span("kf.search.exact");
     mic_obs::counter("kf.searches_exact", 1);
     let n = ys.len();
-    let mut ctx = SearchContext::new(ys, seasonal, opts, criterion);
+    let mut ctx = SearchContext::new(ys, seasonal, opts, criterion, warm);
     if ctx.too_short() {
         return ctx.short_series_finish();
     }
@@ -355,14 +426,28 @@ pub fn exact_change_point_par_with(
     criterion: SelectionCriterion,
     threads: usize,
 ) -> ChangePointSearch {
+    exact_change_point_par_warm(ys, seasonal, opts, criterion, threads, None)
+}
+
+/// [`exact_change_point_par_with`] with an optional warm start (see
+/// [`exact_change_point_warm`]); each parallel candidate fit is seeded from
+/// the same warm parameters.
+pub fn exact_change_point_par_warm(
+    ys: &[f64],
+    seasonal: bool,
+    opts: &FitOptions,
+    criterion: SelectionCriterion,
+    threads: usize,
+    warm: Option<WarmStart>,
+) -> ChangePointSearch {
     if threads <= 1 {
-        return exact_change_point_with(ys, seasonal, opts, criterion);
+        return exact_change_point_warm(ys, seasonal, opts, criterion, warm);
     }
     let _span = mic_obs::span("kf.search.exact");
     mic_obs::counter("kf.searches_exact", 1);
     mic_obs::counter("kf.searches_exact_par", 1);
     let n = ys.len();
-    let mut ctx = SearchContext::new(ys, seasonal, opts, criterion);
+    let mut ctx = SearchContext::new(ys, seasonal, opts, criterion, warm);
     if ctx.too_short() {
         return ctx.short_series_finish();
     }
@@ -379,10 +464,15 @@ pub fn exact_change_point_par_with(
             } else {
                 StructuralSpec::with_intervention(cp)
             };
-            if cp >= lead {
-                fit_structural_with_skip_ws(ys, spec, opts, lead, &[cp], ws)
+            let cp_skip = [cp];
+            let (skip, extra): (usize, &[usize]) = if cp >= lead {
+                (lead, &cp_skip)
             } else {
-                fit_structural_with_skip_ws(ys, spec, opts, lead + 1, &[], ws)
+                (lead + 1, &[])
+            };
+            match warm {
+                Some(w) => fit_structural_warm_ws(ys, spec, opts, skip, extra, &w.candidate, ws),
+                None => fit_structural_with_skip_ws(ys, spec, opts, skip, extra, ws),
             }
         },
     );
@@ -420,10 +510,22 @@ pub fn approx_change_point_with(
     opts: &FitOptions,
     criterion: SelectionCriterion,
 ) -> ChangePointSearch {
+    approx_change_point_warm(ys, seasonal, opts, criterion, None)
+}
+
+/// [`approx_change_point_with`] with an optional warm start (see
+/// [`exact_change_point_warm`]).
+pub fn approx_change_point_warm(
+    ys: &[f64],
+    seasonal: bool,
+    opts: &FitOptions,
+    criterion: SelectionCriterion,
+    warm: Option<WarmStart>,
+) -> ChangePointSearch {
     let _span = mic_obs::span("kf.search.approx");
     mic_obs::counter("kf.searches_approx", 1);
     let n = ys.len();
-    let mut ctx = SearchContext::new(ys, seasonal, opts, criterion);
+    let mut ctx = SearchContext::new(ys, seasonal, opts, criterion, warm);
     if ctx.too_short() {
         return ctx.short_series_finish();
     }
@@ -778,6 +880,47 @@ mod tests {
                 let par = exact_change_point_par(&ys, seasonal, &fast_opts(), 4);
                 assert_searches_identical(&par, &serial, &format!("n={n} seasonal={seasonal}"));
             }
+        }
+    }
+
+    #[test]
+    fn warm_search_matches_cold_decisions() {
+        // A warm-started search (seeded from the no-change optimum of the
+        // series minus its last point — the incremental session's situation)
+        // must reach the same change-point decision as the cold search.
+        for (ys, what) in [
+            (slope_break_series(43, 25, 1.5, 11), "break"),
+            (flat_series(43, 12), "flat"),
+        ] {
+            let prev = exact_change_point(&ys[..ys.len() - 1], false, &fast_opts());
+            let seeds = WarmStart::from_search(&prev);
+            let cold = exact_change_point(&ys, false, &fast_opts());
+            let warm = exact_change_point_warm(
+                &ys,
+                false,
+                &fast_opts(),
+                SelectionCriterion::Aic,
+                Some(seeds),
+            );
+            assert_eq!(cold.change_point, warm.change_point, "{what}");
+            let warm_par = exact_change_point_par_warm(
+                &ys,
+                false,
+                &fast_opts(),
+                SelectionCriterion::Aic,
+                4,
+                Some(seeds),
+            );
+            assert_eq!(warm.change_point, warm_par.change_point, "{what} par");
+            assert_eq!(warm.aic.to_bits(), warm_par.aic.to_bits(), "{what} par aic");
+            let warm_approx = approx_change_point_warm(
+                &ys,
+                false,
+                &fast_opts(),
+                SelectionCriterion::Aic,
+                Some(seeds),
+            );
+            assert_eq!(cold.change_point, warm_approx.change_point, "{what} approx");
         }
     }
 

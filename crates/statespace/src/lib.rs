@@ -66,12 +66,13 @@ pub use arima::{
     fit_arima, fit_sarima, select_arima, ArimaFit, ArimaOrder, SarimaFit, SarimaOrder,
 };
 pub use changepoint::{
-    approx_change_point, approx_change_point_with, exact_change_point, exact_change_point_par,
-    exact_change_point_par_with, exact_change_point_with, ChangePoint, ChangePointSearch,
-    SelectionCriterion,
+    approx_change_point, approx_change_point_warm, approx_change_point_with, exact_change_point,
+    exact_change_point_par, exact_change_point_par_warm, exact_change_point_par_with,
+    exact_change_point_warm, exact_change_point_with, ChangePoint, ChangePointSearch,
+    SelectionCriterion, WarmStart,
 };
 pub use diagnostics::{diagnose_residuals, ResidualDiagnostics};
-pub use estimate::{fit_structural, FitOptions, FittedStructural};
+pub use estimate::{fit_structural, fit_structural_warm_ws, FitOptions, FittedStructural};
 pub use kalman::{kalman_filter, kalman_loglik, FilterResult, FilterWorkspace};
 pub use model::Ssm;
 pub use multi::{detect_multiple, MultiChangePoints, MultiStructuralSpec};

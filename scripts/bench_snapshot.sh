@@ -5,6 +5,9 @@
 #  - the `em` bench group (HashMap reference vs EmWorkspace engine at fixed
 #    iteration count, plus Stage-1 panel wall time at 1 vs 4 threads)
 #    -> BENCH_em.json
+#  - the `session` bench group (appending month T+1 to a warm
+#    AnalysisSession vs re-running the batch pipeline on the extended
+#    window; the append/batch ratio must stay < 50%) -> BENCH_session.json
 #
 #   ./scripts/bench_snapshot.sh                # -> results/bench/BENCH_*.json
 #   BENCH_JSON_DIR=/tmp ./scripts/bench_snapshot.sh
@@ -18,4 +21,6 @@ echo "==> obs overhead bench (JSON -> $out)"
 BENCH_JSON_DIR="$out" cargo bench -p mic-bench --bench obs
 echo "==> em engine bench (JSON -> $out)"
 BENCH_JSON_DIR="$out" cargo bench -p mic-bench --bench em
-ls -l "$out"/BENCH_obs.json "$out"/BENCH_em.json
+echo "==> incremental session bench (JSON -> $out)"
+BENCH_JSON_DIR="$out" cargo bench -p mic-bench --bench session
+ls -l "$out"/BENCH_obs.json "$out"/BENCH_em.json "$out"/BENCH_session.json

@@ -39,6 +39,19 @@ echo "==> allocation-free EM gate (em.resp_buffer_allocs == 0)"
 grep -q '"type":"counter","name":"em.resp_buffer_allocs","value":0' "$tmp/metrics.jsonl" \
     || { echo "allocation-free EM gate: em.resp_buffer_allocs != 0 (or missing)"; exit 1; }
 
+echo "==> incremental session smoke gate (mictrend append --check-batch)"
+# Absorb the last 3 months one by one through an AnalysisSession, then
+# require (a) a cold re-analysis of the session to match a fresh batch run
+# decision-for-decision (--check-batch exits non-zero otherwise) and (b) the
+# final re-analysis of the unchanged window to have been served from the
+# fit cache.
+cargo run --release -q --bin mictrend -- append --data "$tmp/claims.mic" \
+    --tail 3 --check-batch --metrics "$tmp/append.jsonl" > /dev/null
+hits="$(grep -o '"name":"session.cache_hits","value":[0-9]*' "$tmp/append.jsonl" \
+    | grep -o '[0-9]*$' || true)"
+[[ "${hits:-0}" -gt 0 ]] \
+    || { echo "incremental smoke gate: session.cache_hits is ${hits:-missing}, expected > 0"; exit 1; }
+
 if [[ "${RUN_BENCHES:-0}" == "1" ]]; then
     echo "==> criterion benches (JSON -> results/bench/)"
     mkdir -p results/bench

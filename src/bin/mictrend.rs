@@ -6,7 +6,9 @@
 //!                   [--diseases N] [--medicines N]
 //! mictrend stats    --data claims.mic
 //! mictrend analyze  --data claims.mic [--exact] [--no-seasonal] [--top N]
-//!                   [--metrics FILE] [--progress]
+//!                   [--metrics FILE] [--progress] [--incremental]
+//! mictrend append   --data claims.mic [--tail N] [--continuity X]
+//!                   [--check-batch] [--metrics FILE]
 //! mictrend series   --data claims.mic --kind <disease|medicine> --id N
 //! ```
 //!
@@ -18,7 +20,7 @@ use prescription_trends::claims::store::{read_dataset, write_dataset};
 use prescription_trends::claims::{DatasetStats, DiseaseId, MedicineId, Simulator, WorldSpec};
 use prescription_trends::statespace::FitOptions;
 use prescription_trends::trend::report::{detected_changes_table, sparkline};
-use prescription_trends::trend::{PipelineConfig, TrendPipeline};
+use prescription_trends::trend::{AnalysisSession, PipelineConfig, TrendPipeline};
 use std::collections::HashMap;
 use std::fs::File;
 use std::io::{BufReader, BufWriter};
@@ -43,12 +45,22 @@ fn main() -> ExitCode {
 const USAGE: &str = "usage:
   mictrend simulate --out FILE [--seed N] [--months N] [--patients N] [--diseases N] [--medicines N]
   mictrend stats    --data FILE
-  mictrend analyze  --data FILE [--exact] [--no-seasonal] [--top N] [--metrics FILE] [--progress]
+  mictrend analyze  --data FILE [--exact] [--no-seasonal] [--top N] [--metrics FILE] [--progress] [--incremental]
+  mictrend append   --data FILE [--tail N] [--continuity X] [--exact] [--no-seasonal] [--check-batch] [--metrics FILE]
   mictrend series   --data FILE --kind disease|medicine --id N
 
   --metrics FILE  write an instrumentation snapshot (JSONL: em.*, kf.*,
-                  pipeline.* counters/timers plus derived cost units)
-  --progress      print a periodic metrics summary to stderr while analysing";
+                  pipeline.*, session.* counters/timers plus derived cost units)
+  --progress      print a periodic metrics summary to stderr while analysing
+  --incremental   drive the analysis through an AnalysisSession, feeding
+                  months one by one instead of the batch pipeline
+  --tail N        (append) hold out the last N months and absorb them one
+                  by one, re-analysing after each append (default 3)
+  --continuity X  temporal-prior weight chaining consecutive months' EM
+                  fits in [0, 1) (default 0 = independent fits)
+  --check-batch   (append) re-run the batch pipeline on the full window,
+                  report warm-path decision drift, and fail unless a cold
+                  re-analysis of the session matches the batch decisions";
 
 /// Minimal flag parser: `--name value` pairs plus boolean flags.
 struct Flags {
@@ -67,7 +79,10 @@ impl Flags {
                 return Err(format!("unexpected argument {arg:?}"));
             };
             // Boolean switches take no value.
-            if matches!(name, "exact" | "no-seasonal" | "progress") {
+            if matches!(
+                name,
+                "exact" | "no-seasonal" | "progress" | "incremental" | "check-batch"
+            ) {
                 switches.push(name.to_string());
                 i += 1;
             } else {
@@ -113,6 +128,7 @@ fn run(args: &[String]) -> Result<(), String> {
         "simulate" => simulate(&flags),
         "stats" => stats(&flags),
         "analyze" => analyze(&flags),
+        "append" => append(&flags),
         "series" => series(&flags),
         other => Err(format!("unknown command {other:?}")),
     }
@@ -224,7 +240,22 @@ fn analyze(flags: &Flags) -> Result<(), String> {
             }
         })
     });
-    let report = TrendPipeline::new(config).run(&dataset);
+    let report = if flags.has("incremental") {
+        // Same result as the batch run (a fresh session fed every month),
+        // but exercised through the month-by-month append path.
+        let mut session = AnalysisSession::new(
+            &config,
+            dataset.start,
+            dataset.n_diseases,
+            dataset.n_medicines,
+        );
+        for month in &dataset.months {
+            session.append_month(month).map_err(|e| e.to_string())?;
+        }
+        session.analyze()
+    } else {
+        TrendPipeline::new(config).run(&dataset)
+    };
     stop.store(true, Ordering::Relaxed);
     if let Some(handle) = ticker {
         let _ = handle.join();
@@ -259,6 +290,155 @@ fn analyze(flags: &Flags) -> Result<(), String> {
         for (key, cause) in report.causes.iter().take(top) {
             println!("  {key}: {cause}");
         }
+    }
+    Ok(())
+}
+
+/// Incremental-session driver: warm up on all but the last `--tail N`
+/// months, then absorb the held-out months one by one, re-analysing after
+/// each append. Demonstrates (and measures) the session's warm-started EM
+/// and cached Stage-2 fits; `--check-batch` reports how far the warm-path
+/// decisions drift from a fresh batch run, then pins a cold re-analysis of
+/// the session to the batch decisions exactly.
+fn append(flags: &Flags) -> Result<(), String> {
+    let dataset = load(flags)?;
+    let tail: usize = flags.get_num("tail", 3usize)?;
+    let metrics_path = flags.get("metrics").map(str::to_string);
+    // Session counters (cache hits, warm fits, append spans) are the whole
+    // point of this command, so instrumentation is always on.
+    mic_obs::enable();
+    let config = PipelineConfig {
+        approximate_search: !flags.has("exact"),
+        seasonal: !flags.has("no-seasonal") && dataset.horizon() >= 16,
+        continuity: flags.get_num("continuity", 0.0f64)?,
+        fit: FitOptions {
+            max_evals: 150,
+            n_starts: 1,
+        },
+        ..Default::default()
+    };
+    if !(0.0..1.0).contains(&config.continuity) {
+        return Err(format!(
+            "--continuity must be in [0, 1), got {}",
+            config.continuity
+        ));
+    }
+    let horizon = dataset.horizon();
+    if tail == 0 || tail >= horizon {
+        return Err(format!(
+            "--tail must be in 1..{horizon} (the dataset holds {horizon} months)"
+        ));
+    }
+    let split = horizon - tail;
+    let mut session = AnalysisSession::new(
+        &config,
+        dataset.start,
+        dataset.n_diseases,
+        dataset.n_medicines,
+    );
+    let warmup = Instant::now();
+    session
+        .append_months(&dataset.months[..split])
+        .map_err(|e| e.to_string())?;
+    let mut report = session.analyze();
+    eprintln!(
+        "warm-up: {split} months analysed in {:.2}s ({} series, {} cached)",
+        warmup.elapsed().as_secs_f64(),
+        report.series.len(),
+        session.cached_series()
+    );
+    let mut before = mic_obs::snapshot();
+    for month in &dataset.months[split..] {
+        let t = Instant::now();
+        session.append_month(month).map_err(|e| e.to_string())?;
+        report = session.analyze();
+        let after = mic_obs::snapshot();
+        let delta = |name: &str| after.counter(name) - before.counter(name);
+        println!(
+            "appended month {} in {:.2}s: {} series, {} changed | cache hits {} misses {} (warm {} cold {})",
+            session.horizon() - 1,
+            t.elapsed().as_secs_f64(),
+            report.series.len(),
+            report.detected().len(),
+            delta("session.cache_hits"),
+            delta("session.cache_misses"),
+            delta("session.warm_fits"),
+            delta("session.cold_fits"),
+        );
+        before = after;
+    }
+    // A second analysis of the (now unchanged) window is served entirely
+    // from the fit cache — repeated queries against a live session are free.
+    let t = Instant::now();
+    report = session.analyze();
+    let after = mic_obs::snapshot();
+    println!(
+        "re-analysis of the unchanged window in {:.3}s: {} of {} series from cache",
+        t.elapsed().as_secs_f64(),
+        after.counter("session.cache_hits") - before.counter("session.cache_hits"),
+        report.series.len(),
+    );
+    let snap = snapshot_with_cost_units();
+    println!(
+        "session totals: {} appends | cache hits {} misses {} | warm fits {} cold fits {}",
+        snap.counter("session.appends"),
+        snap.counter("session.cache_hits"),
+        snap.counter("session.cache_misses"),
+        snap.counter("session.warm_fits"),
+        snap.counter("session.cold_fits"),
+    );
+    if let Some(path) = &metrics_path {
+        std::fs::write(path, snap.to_jsonl())
+            .map_err(|e| format!("cannot write metrics to {path}: {e}"))?;
+        eprintln!("metrics snapshot written to {path}");
+    }
+    if flags.has("check-batch") {
+        let batch = TrendPipeline::new(config).run(&dataset);
+        // Warm refits can land on slightly different likelihood optima than
+        // a cold batch fit, so decisions near the AIC boundary may drift.
+        // Report that drift, then verify the incremental Stage-1 state the
+        // strict way: a cold re-analysis of the session must reproduce the
+        // batch report exactly, because both run the identical search over
+        // the identical panel.
+        let drift = batch
+            .series
+            .iter()
+            .zip(&report.series)
+            .filter(|(b, i)| b.key != i.key || b.change_point != i.change_point)
+            .count();
+        println!(
+            "check-batch: warm-path decisions drift from batch on {drift} of {} series",
+            report.series.len()
+        );
+        session.clear_cache();
+        let cold = session.analyze();
+        if batch.series.len() != cold.series.len() {
+            return Err(format!(
+                "incremental vs batch: {} series vs {}",
+                cold.series.len(),
+                batch.series.len()
+            ));
+        }
+        let mut mismatches = 0usize;
+        for (b, i) in batch.series.iter().zip(&cold.series) {
+            if b.key != i.key || b.change_point != i.change_point {
+                eprintln!(
+                    "mismatch {}: batch {} vs incremental {}",
+                    b.key, b.change_point, i.change_point
+                );
+                mismatches += 1;
+            }
+        }
+        if mismatches > 0 {
+            return Err(format!(
+                "incremental (cold) vs batch decisions differ on {mismatches} of {} series",
+                cold.series.len()
+            ));
+        }
+        println!(
+            "check-batch: cold re-analysis matches the batch run on all {} series",
+            cold.series.len()
+        );
     }
     Ok(())
 }
