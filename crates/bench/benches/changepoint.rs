@@ -22,6 +22,7 @@ fn bench_search(c: &mut Criterion) {
     let opts = FitOptions {
         max_evals: 120,
         n_starts: 1,
+        ..FitOptions::default()
     };
     let mut group = c.benchmark_group("changepoint_search");
     group.sample_size(10);

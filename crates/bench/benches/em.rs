@@ -93,6 +93,7 @@ fn bench_em(c: &mut Criterion) {
             fit: FitOptions {
                 max_evals: 120,
                 n_starts: 1,
+                ..FitOptions::default()
             },
             stage1_threads: threads,
             ..Default::default()

@@ -1,0 +1,153 @@
+//! Steady-state Kalman fast path: exact vs steady likelihood cost, and the
+//! end-to-end effect on the change-detection stage.
+//!
+//! Gate (enforced by `scripts/bench_snapshot.sh`): `loglik_path_steady/LL_T120`
+//! must be ≥2× faster than `loglik_path_exact/LL_T120`.
+//!
+//! Model-class coverage is deliberate:
+//! - `LL_*` (local level, m=1) converges geometrically in ~25 steps, so the
+//!   steady phase covers most of the series — this is where the ≥2× gate
+//!   lives, and it is the model the non-seasonal change-point search fits
+//!   once per candidate.
+//! - `LLS_T120` (level + 11-state seasonal, m=12) converges at ~0.96/step
+//!   because each seasonal state is refreshed once per period; the sound
+//!   detector does not fire within monthly-scale horizons, so this pair
+//!   documents that the detection overhead is noise when steady state is
+//!   out of reach.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use mic_claims::{Simulator, WorldSpec};
+use mic_statespace::kalman::{kalman_loglik, FilterWorkspace, SteadyStateOpts};
+use mic_statespace::structural::{StructuralParams, StructuralSpec};
+use mic_statespace::FitOptions;
+use mic_trend::{PipelineConfig, TrendPipeline};
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+use std::hint::black_box;
+
+fn series(n: usize, seed: u64) -> Vec<f64> {
+    let mut rng = SmallRng::seed_from_u64(seed);
+    (0..n)
+        .map(|t| {
+            30.0 + 5.0 * ((t % 12) as f64 / 12.0 * std::f64::consts::TAU).sin()
+                + mic_stats::dist::sample_normal(&mut rng, 0.0, 1.0)
+        })
+        .collect()
+}
+
+fn bench_loglik_steady(c: &mut Criterion) {
+    let params = StructuralParams {
+        var_eps: 1.0,
+        var_level: 0.1,
+        var_seasonal: 0.01,
+    };
+    let steady = SteadyStateOpts::default();
+    let mut group = c.benchmark_group("kalman_steady");
+
+    for &t in &[60usize, 120, 172] {
+        let ys = series(t, 1);
+        let spec = StructuralSpec::local_level();
+        let mut ssm = spec.build(&params, t);
+        let mut ws = FilterWorkspace::new(spec.state_dim());
+        group.bench_with_input(
+            BenchmarkId::new("loglik_path_exact", format!("LL_T{t}")),
+            &t,
+            |b, _| {
+                b.iter(|| {
+                    spec.apply_params(black_box(&params), &mut ssm);
+                    black_box(kalman_loglik(
+                        &ssm,
+                        &ys,
+                        &mut ws,
+                        &SteadyStateOpts::DISABLED,
+                    ))
+                });
+            },
+        );
+        group.bench_with_input(
+            BenchmarkId::new("loglik_path_steady", format!("LL_T{t}")),
+            &t,
+            |b, _| {
+                b.iter(|| {
+                    spec.apply_params(black_box(&params), &mut ssm);
+                    black_box(kalman_loglik(&ssm, &ys, &mut ws, &steady))
+                });
+            },
+        );
+    }
+
+    // Seasonal 12-state: steady state is out of reach at T=120 (the detector
+    // correctly never fires), so this pair bounds the detection overhead.
+    {
+        let t = 120;
+        let ys = series(t, 1);
+        let spec = StructuralSpec::with_seasonal();
+        let mut ssm = spec.build(&params, t);
+        let mut ws = FilterWorkspace::new(spec.state_dim());
+        group.bench_with_input(
+            BenchmarkId::new("loglik_path_exact", "LLS_T120"),
+            &t,
+            |b, _| {
+                b.iter(|| {
+                    spec.apply_params(black_box(&params), &mut ssm);
+                    black_box(kalman_loglik(
+                        &ssm,
+                        &ys,
+                        &mut ws,
+                        &SteadyStateOpts::DISABLED,
+                    ))
+                });
+            },
+        );
+        group.bench_with_input(
+            BenchmarkId::new("loglik_path_steady", "LLS_T120"),
+            &t,
+            |b, _| {
+                b.iter(|| {
+                    spec.apply_params(black_box(&params), &mut ssm);
+                    black_box(kalman_loglik(&ssm, &ys, &mut ws, &steady))
+                });
+            },
+        );
+    }
+
+    // End-to-end change detection (the Kalman-heavy pipeline stage) with
+    // the steady knob off vs on, over a long non-seasonal horizon where the
+    // fast path engages on every pre-break fit.
+    let spec = WorldSpec {
+        n_diseases: 8,
+        n_medicines: 12,
+        n_patients: 100,
+        n_hospitals: 4,
+        n_cities: 2,
+        months: 96,
+        ..WorldSpec::default()
+    };
+    let world = spec.generate();
+    let ds = Simulator::new(&world, 42).run();
+    let config = |steady: SteadyStateOpts| PipelineConfig {
+        seasonal: false,
+        fit: FitOptions {
+            max_evals: 120,
+            n_starts: 1,
+            steady,
+        },
+        threads: 1,
+        ..Default::default()
+    };
+    let exact = TrendPipeline::new(config(SteadyStateOpts::DISABLED));
+    let fast = TrendPipeline::new(config(SteadyStateOpts::default()));
+    let panel = exact.reproduce_panel(&ds);
+
+    group.sample_size(10);
+    group.bench_function("detect_changes_exact", |b| {
+        b.iter(|| black_box(exact.detect_changes(&panel).len()));
+    });
+    group.bench_function("detect_changes_steady", |b| {
+        b.iter(|| black_box(fast.detect_changes(&panel).len()));
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_loglik_steady);
+criterion_main!(benches);

@@ -31,6 +31,7 @@ fn bench_session(c: &mut Criterion) {
         fit: FitOptions {
             max_evals: 120,
             n_starts: 1,
+            ..FitOptions::default()
         },
         threads: 1,
         ..Default::default()

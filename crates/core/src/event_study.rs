@@ -119,6 +119,7 @@ mod tests {
         FitOptions {
             max_evals: 250,
             n_starts: 1,
+            ..FitOptions::default()
         }
     }
 

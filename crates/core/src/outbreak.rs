@@ -147,6 +147,7 @@ mod tests {
             fit: FitOptions {
                 max_evals: 200,
                 n_starts: 1,
+                ..FitOptions::default()
             },
             ..Default::default()
         };
@@ -183,6 +184,7 @@ mod tests {
             fit: FitOptions {
                 max_evals: 150,
                 n_starts: 1,
+                ..FitOptions::default()
             },
             seasonal: true,
             ..Default::default()

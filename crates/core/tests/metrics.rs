@@ -39,6 +39,7 @@ fn pipeline_metrics_agree_with_report() {
         fit: FitOptions {
             max_evals: 150,
             n_starts: 1,
+            ..FitOptions::default()
         },
         threads: 4,
         ..Default::default()
@@ -102,6 +103,7 @@ fn disabled_pipeline_records_nothing() {
         fit: FitOptions {
             max_evals: 60,
             n_starts: 1,
+            ..FitOptions::default()
         },
         threads: 2,
         ..Default::default()

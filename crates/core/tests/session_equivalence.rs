@@ -44,6 +44,7 @@ fn config(max_evals: usize) -> PipelineConfig {
         fit: FitOptions {
             max_evals,
             n_starts: 1,
+            ..FitOptions::default()
         },
         threads: 4,
         ..Default::default()

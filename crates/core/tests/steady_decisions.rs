@@ -1,0 +1,115 @@
+//! Decision invariance of the steady-state Kalman fast path.
+//!
+//! The fast path is allowed to drift the log-likelihood by ≤1e-9 relative
+//! (see `kalman_loglik`'s parity suite); what the pipeline must preserve is
+//! every AIC *decision* — the change-point month chosen for each series and
+//! every `ChangePoint::None` verdict — with the knob on vs off.
+
+use mic_claims::{Simulator, WorldSpec};
+use mic_statespace::{FitOptions, SteadyStateOpts};
+use mic_trend::{PipelineConfig, TrendPipeline, TrendReport};
+use proptest::prelude::*;
+
+fn dataset(months: u32, patients: usize, seed: u64) -> mic_claims::ClaimsDataset {
+    let spec = WorldSpec {
+        seed,
+        months,
+        n_diseases: 8,
+        n_medicines: 12,
+        n_patients: patients,
+        n_hospitals: 4,
+        n_cities: 2,
+        n_new_medicines: 1,
+        n_generic_entries: 1,
+        n_indication_expansions: 1,
+        n_price_revisions: 0,
+        n_outbreaks: 1,
+        n_prevalence_shifts: 0,
+        ..WorldSpec::default()
+    };
+    Simulator::new(&spec.generate(), seed).run()
+}
+
+fn config(seasonal: bool, steady: SteadyStateOpts) -> PipelineConfig {
+    PipelineConfig {
+        seasonal,
+        fit: FitOptions {
+            max_evals: 100,
+            n_starts: 1,
+            steady,
+        },
+        threads: 2,
+        ..Default::default()
+    }
+}
+
+fn assert_same_decisions(exact: &TrendReport, steady: &TrendReport) {
+    assert_eq!(exact.series.len(), steady.series.len());
+    for (e, s) in exact.series.iter().zip(&steady.series) {
+        assert_eq!(e.key, s.key);
+        assert_eq!(
+            e.change_point, s.change_point,
+            "steady knob changed the decision for {}",
+            e.key
+        );
+    }
+    assert_eq!(exact.causes, steady.causes);
+}
+
+/// The golden 24-month run (the dataset pinned by the session-equivalence
+/// suite), in the pipeline's seasonal default: identical decisions with the
+/// knob on vs off.
+#[test]
+fn golden_24_month_decisions_unchanged() {
+    let ds = dataset(24, 150, 42);
+    let exact = TrendPipeline::new(config(true, SteadyStateOpts::DISABLED)).run(&ds);
+    let steady = TrendPipeline::new(config(true, SteadyStateOpts::default())).run(&ds);
+    assert!(
+        !exact.detected().is_empty(),
+        "the planted market events should break at least one series"
+    );
+    assert_same_decisions(&exact, &steady);
+}
+
+/// A long non-seasonal horizon where the fast path genuinely engages
+/// (verified through the `kf.steady_entered` counter): decisions must still
+/// match the exact run for every series.
+#[test]
+fn long_horizon_engages_steady_and_keeps_decisions() {
+    let ds = dataset(72, 100, 7);
+    let exact = TrendPipeline::new(config(false, SteadyStateOpts::DISABLED)).run(&ds);
+
+    let _obs = mic_obs::exclusive();
+    mic_obs::reset();
+    mic_obs::enable();
+    let steady = TrendPipeline::new(config(false, SteadyStateOpts::default())).run(&ds);
+    mic_obs::disable();
+    let snap = mic_obs::snapshot();
+    assert!(
+        snap.counter("kf.steady_entered") > 0,
+        "the fast path should engage on 72-month non-seasonal fits"
+    );
+    assert_same_decisions(&exact, &steady);
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(4))]
+
+    // Short monthly horizons (the paper's regime) across random worlds:
+    // the knob must never flip a verdict, whether or not the fast path
+    // engaged.
+    #[test]
+    fn random_world_decisions_unchanged(seed in 0u64..1000, months in 14u32..26) {
+        let ds = dataset(months, 80, seed);
+        let exact = TrendPipeline::new(config(false, SteadyStateOpts::DISABLED)).run(&ds);
+        let steady = TrendPipeline::new(config(false, SteadyStateOpts::default())).run(&ds);
+        prop_assert_eq!(exact.series.len(), steady.series.len());
+        for (e, s) in exact.series.iter().zip(&steady.series) {
+            prop_assert_eq!(e.key, s.key);
+            prop_assert_eq!(
+                e.change_point, s.change_point,
+                "decision diverged for {} (seed {}, months {})", e.key, seed, months
+            );
+        }
+    }
+}

@@ -32,6 +32,7 @@ fn main() {
     let opts = FitOptions {
         max_evals: 250,
         n_starts: 1,
+        ..FitOptions::default()
     };
     let search = exact_change_point(&ys, false, &opts);
 

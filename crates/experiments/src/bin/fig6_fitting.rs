@@ -42,6 +42,7 @@ fn main() {
     let opts = FitOptions {
         max_evals: 250,
         n_starts: 1,
+        ..FitOptions::default()
     };
 
     // (a) + (b): seasonal diseases.

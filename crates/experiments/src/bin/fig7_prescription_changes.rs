@@ -27,6 +27,7 @@ fn main() {
     let fit = FitOptions {
         max_evals: 200,
         n_starts: 1,
+        ..FitOptions::default()
     };
 
     // (a) New indication.

@@ -49,6 +49,7 @@ fn main() {
     let fit = FitOptions {
         max_evals: 150,
         n_starts: 1,
+        ..FitOptions::default()
     };
 
     let groups: Vec<(&str, Vec<mic_linkmodel::SeriesKey>)> = vec![

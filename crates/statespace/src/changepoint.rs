@@ -605,6 +605,7 @@ mod tests {
         FitOptions {
             max_evals: 200,
             n_starts: 1,
+            ..FitOptions::default()
         }
     }
 

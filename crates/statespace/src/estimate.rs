@@ -9,7 +9,7 @@
 //! variances — so adding the intervention costs exactly one penalty unit,
 //! which is what makes the AIC change-point comparison meaningful.
 
-use crate::kalman::{kalman_filter, kalman_loglik, FilterResult, FilterWorkspace};
+use crate::kalman::{kalman_filter, kalman_loglik, FilterResult, FilterWorkspace, SteadyStateOpts};
 use crate::model::Ssm;
 use crate::smoother::smooth;
 use crate::structural::{Components, StructuralParams, StructuralSpec};
@@ -23,6 +23,10 @@ pub struct FitOptions {
     pub max_evals: usize,
     /// Extra restarts from perturbed initial points (best result wins).
     pub n_starts: usize,
+    /// Steady-state Kalman fast path applied to every likelihood
+    /// evaluation (see [`SteadyStateOpts`]). `SteadyStateOpts::DISABLED`
+    /// recovers the seed behaviour bit for bit.
+    pub steady: SteadyStateOpts,
 }
 
 impl Default for FitOptions {
@@ -30,6 +34,7 @@ impl Default for FitOptions {
         FitOptions {
             max_evals: 400,
             n_starts: 2,
+            steady: SteadyStateOpts::default(),
         }
     }
 }
@@ -239,13 +244,14 @@ fn fit_structural_impl(
     ssm.extra_skips = extra_skips.to_vec();
 
     // Objective over log-variances [ln σ²_ε, ln σ²_ξ, (ln σ²_ω)].
+    let steady = opts.steady;
     let mut objective = |x: &[f64]| -> f64 {
         let params = params_from_log(x, var_y);
         spec.apply_params(&params, &mut ssm);
         // The mean of the `kf.loglik` timer is the measured C_KF (Table V).
         mic_obs::counter("kf.loglik_evals", 1);
         let eval_span = mic_obs::span("kf.loglik");
-        let loglik = kalman_loglik(&ssm, ys, ws);
+        let loglik = kalman_loglik(&ssm, ys, ws, &steady);
         eval_span.end();
         if loglik.is_finite() {
             -loglik

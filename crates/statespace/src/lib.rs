@@ -44,7 +44,7 @@
 //! let ys: Vec<f64> = (0..43)
 //!     .map(|t| if t >= 20 { 10.0 + 1.5 * (t - 19) as f64 } else { 10.0 })
 //!     .collect();
-//! let opts = FitOptions { max_evals: 150, n_starts: 1 };
+//! let opts = FitOptions { max_evals: 150, n_starts: 1, ..FitOptions::default() };
 //! let search = exact_change_point(&ys, false, &opts);
 //! assert_eq!(search.change_point.month(), Some(20));
 //! assert!(search.aic < search.aic_no_change);
@@ -73,7 +73,10 @@ pub use changepoint::{
 };
 pub use diagnostics::{diagnose_residuals, ResidualDiagnostics};
 pub use estimate::{fit_structural, fit_structural_warm_ws, FitOptions, FittedStructural};
-pub use kalman::{kalman_filter, kalman_loglik, FilterResult, FilterWorkspace};
+pub use kalman::{
+    kalman_filter, kalman_loglik, kalman_loglik_reference, FilterResult, FilterWorkspace,
+    SteadyStateOpts,
+};
 pub use model::Ssm;
 pub use multi::{detect_multiple, MultiChangePoints, MultiStructuralSpec};
 pub use smoother::{smooth, SmoothResult};

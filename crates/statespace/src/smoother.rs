@@ -185,6 +185,7 @@ mod tests {
         let opts = FitOptions {
             max_evals: 150,
             n_starts: 1,
+            ..FitOptions::default()
         };
         let search = approx_change_point(&ys, true, &opts);
         let c = search.fit.decompose(&ys);

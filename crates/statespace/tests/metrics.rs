@@ -27,6 +27,7 @@ fn search_counters_match_fits_and_complexity() {
     let opts = FitOptions {
         max_evals: 60,
         n_starts: 1,
+        ..FitOptions::default()
     };
     let ys = series();
     let exact = exact_change_point(&ys, false, &opts);

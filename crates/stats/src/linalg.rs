@@ -32,6 +32,19 @@ impl fmt::Debug for Mat {
 }
 
 impl Mat {
+    /// Reshape to an all-zero `rows × cols` matrix in place, reusing the
+    /// existing allocation whenever its capacity suffices. Shrinking and
+    /// re-growing within the previously seen maximum size therefore never
+    /// touches the allocator — the basis of the workspace reuse in
+    /// `mic-statespace`, where 12- and 13-state models alternate inside one
+    /// change-point search.
+    pub fn resize(&mut self, rows: usize, cols: usize) {
+        self.rows = rows;
+        self.cols = cols;
+        self.data.clear();
+        self.data.resize(rows * cols, 0.0);
+    }
+
     /// All-zero matrix.
     pub fn zeros(rows: usize, cols: usize) -> Self {
         Mat {

@@ -81,6 +81,7 @@ fn main() {
         fit: FitOptions {
             max_evals: 200,
             n_starts: 1,
+            ..FitOptions::default()
         },
         ..Default::default()
     };

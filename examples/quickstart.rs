@@ -36,6 +36,7 @@ fn main() {
         fit: FitOptions {
             max_evals: 150,
             n_starts: 1,
+            ..FitOptions::default()
         },
         ..PipelineConfig::default()
     };

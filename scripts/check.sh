@@ -52,6 +52,25 @@ hits="$(grep -o '"name":"session.cache_hits","value":[0-9]*' "$tmp/append.jsonl"
 [[ "${hits:-0}" -gt 0 ]] \
     || { echo "incremental smoke gate: session.cache_hits is ${hits:-missing}, expected > 0"; exit 1; }
 
+echo "==> steady-state Kalman smoke gate (kf.steady_entered > 0, decisions unchanged)"
+# The 24-month seasonal demo cannot reach steady state (the 12-state
+# seasonal covariance converges at ~0.96/step, needing T ≳ 400), so the
+# fast-path gate runs on a longer non-seasonal horizon where the detector
+# genuinely fires, and then requires the report to be byte-identical with
+# the fast path disabled (--no-steady).
+cargo run --release -q --bin mictrend -- simulate --out "$tmp/long.mic" \
+    --seed 7 --months 130 --patients 80 --diseases 8 --medicines 12
+cargo run --release -q --bin mictrend -- analyze --data "$tmp/long.mic" \
+    --no-seasonal --metrics "$tmp/steady.jsonl" > "$tmp/report_steady.txt"
+entered="$(grep -o '"name":"kf.steady_entered","value":[0-9]*' "$tmp/steady.jsonl" \
+    | grep -o '[0-9]*$' || true)"
+[[ "${entered:-0}" -gt 0 ]] \
+    || { echo "steady smoke gate: kf.steady_entered is ${entered:-missing}, expected > 0"; exit 1; }
+cargo run --release -q --bin mictrend -- analyze --data "$tmp/long.mic" \
+    --no-seasonal --no-steady > "$tmp/report_exact.txt"
+diff -u "$tmp/report_exact.txt" "$tmp/report_steady.txt" \
+    || { echo "steady smoke gate: report differs with --no-steady"; exit 1; }
+
 if [[ "${RUN_BENCHES:-0}" == "1" ]]; then
     echo "==> criterion benches (JSON -> results/bench/)"
     mkdir -p results/bench

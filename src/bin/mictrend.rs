@@ -18,7 +18,7 @@
 
 use prescription_trends::claims::store::{read_dataset, write_dataset};
 use prescription_trends::claims::{DatasetStats, DiseaseId, MedicineId, Simulator, WorldSpec};
-use prescription_trends::statespace::FitOptions;
+use prescription_trends::statespace::{FitOptions, SteadyStateOpts};
 use prescription_trends::trend::report::{detected_changes_table, sparkline};
 use prescription_trends::trend::{AnalysisSession, PipelineConfig, TrendPipeline};
 use std::collections::HashMap;
@@ -45,9 +45,13 @@ fn main() -> ExitCode {
 const USAGE: &str = "usage:
   mictrend simulate --out FILE [--seed N] [--months N] [--patients N] [--diseases N] [--medicines N]
   mictrend stats    --data FILE
-  mictrend analyze  --data FILE [--exact] [--no-seasonal] [--top N] [--metrics FILE] [--progress] [--incremental]
-  mictrend append   --data FILE [--tail N] [--continuity X] [--exact] [--no-seasonal] [--check-batch] [--metrics FILE]
+  mictrend analyze  --data FILE [--exact] [--no-seasonal] [--no-steady] [--top N] [--metrics FILE] [--progress] [--incremental]
+  mictrend append   --data FILE [--tail N] [--continuity X] [--exact] [--no-seasonal] [--no-steady] [--check-batch] [--metrics FILE]
   mictrend series   --data FILE --kind disease|medicine --id N
+
+  --no-steady     disable the steady-state Kalman fast path (exact
+                  covariance recursion at every step; decisions are
+                  identical either way, this exists for A/B timing)
 
   --metrics FILE  write an instrumentation snapshot (JSONL: em.*, kf.*,
                   pipeline.*, session.* counters/timers plus derived cost units)
@@ -81,7 +85,7 @@ impl Flags {
             // Boolean switches take no value.
             if matches!(
                 name,
-                "exact" | "no-seasonal" | "progress" | "incremental" | "check-batch"
+                "exact" | "no-seasonal" | "no-steady" | "progress" | "incremental" | "check-batch"
             ) {
                 switches.push(name.to_string());
                 i += 1;
@@ -200,6 +204,14 @@ fn snapshot_with_cost_units() -> mic_obs::Snapshot {
     snap
 }
 
+fn steady_opts(flags: &Flags) -> SteadyStateOpts {
+    if flags.has("no-steady") {
+        SteadyStateOpts::DISABLED
+    } else {
+        SteadyStateOpts::default()
+    }
+}
+
 fn analyze(flags: &Flags) -> Result<(), String> {
     let dataset = load(flags)?;
     let top: usize = flags.get_num("top", 15usize)?;
@@ -214,6 +226,7 @@ fn analyze(flags: &Flags) -> Result<(), String> {
         fit: FitOptions {
             max_evals: 150,
             n_starts: 1,
+            steady: steady_opts(flags),
         },
         ..Default::default()
     };
@@ -314,6 +327,7 @@ fn append(flags: &Flags) -> Result<(), String> {
         fit: FitOptions {
             max_evals: 150,
             n_starts: 1,
+            steady: steady_opts(flags),
         },
         ..Default::default()
     };
@@ -451,6 +465,7 @@ fn series(flags: &Flags) -> Result<(), String> {
         fit: FitOptions {
             max_evals: 150,
             n_starts: 1,
+            steady: steady_opts(flags),
         },
         seasonal: dataset.horizon() >= 16,
         ..Default::default()

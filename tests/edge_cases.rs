@@ -134,6 +134,7 @@ fn structural_fit_on_all_zero_series() {
         &FitOptions {
             max_evals: 120,
             n_starts: 1,
+            ..FitOptions::default()
         },
     );
     assert!(search.aic.is_finite());
@@ -182,6 +183,7 @@ fn change_point_search_on_minimum_length_series() {
         &FitOptions {
             max_evals: 80,
             n_starts: 1,
+            ..FitOptions::default()
         },
     );
     assert!(search.aic.is_finite());

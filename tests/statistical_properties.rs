@@ -62,7 +62,7 @@ proptest! {
         // the exhaustive search.
         let world = spec.generate();
         let ds = Simulator::new(&world, spec.seed ^ 2).run();
-        let fit = FitOptions { max_evals: 100, n_starts: 1 };
+        let fit = FitOptions { max_evals: 100, n_starts: 1, ..FitOptions::default() };
         let exact = TrendPipeline::new(PipelineConfig {
             seasonal: false,
             approximate_search: false,
